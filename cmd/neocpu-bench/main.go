@@ -1,0 +1,88 @@
+// Command neocpu-bench regenerates the tables and figures of the paper's
+// evaluation section (Section 4) from the simulators in this repository.
+//
+// Usage:
+//
+//	neocpu-bench -experiment all
+//	neocpu-bench -experiment table2a
+//	neocpu-bench -experiment figure4c
+//
+// Experiments: table1, table2a (Intel), table2b (AMD), table2c (ARM),
+// table3 (optimization ablation), figure4a/b/c (thread scalability), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "table1|table2a|table2b|table2c|table3|figure4a|figure4b|figure4c|all")
+	flag.Parse()
+
+	runners := map[string]func() error{
+		"table1":   func() error { fmt.Println(report.Table1()); return nil },
+		"table2a":  func() error { return runTable2(machine.IntelSkylakeC5()) },
+		"table2b":  func() error { return runTable2(machine.AMDEpycM5a()) },
+		"table2c":  func() error { return runTable2(machine.ARMCortexA72()) },
+		"table3":   runTable3,
+		"figure4a": func() error { return runFigure4(0) },
+		"figure4b": func() error { return runFigure4(1) },
+		"figure4c": func() error { return runFigure4(2) },
+	}
+	order := []string{"table1", "table2a", "table2b", "table2c", "table3", "figure4a", "figure4b", "figure4c"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if err := runners[name](); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (want one of %v or all)", *exp, order))
+	}
+	if err := run(); err != nil {
+		fatal(err)
+	}
+}
+
+func runTable2(t *machine.Target) error {
+	rows, err := report.Table2(t)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.FormatTable2(t, rows))
+	return nil
+}
+
+func runTable3() error {
+	rows, err := report.Table3()
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.FormatTable3(rows))
+	return nil
+}
+
+func runFigure4(i int) error {
+	spec := report.Figure4Specs()[i]
+	series, err := report.Figure4(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.FormatFigure4(spec, series))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neocpu-bench:", err)
+	os.Exit(1)
+}

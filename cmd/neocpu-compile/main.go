@@ -1,0 +1,110 @@
+// Command neocpu-compile compiles one of the evaluated models for a CPU
+// target and reports what the optimization pipeline did: graph statistics
+// before and after the passes, the chosen convolution schemes, the number of
+// surviving layout transforms, and the predicted end-to-end latency.
+//
+// Usage:
+//
+//	neocpu-compile -model resnet-50 -target intel-skylake -level global-search
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/models"
+	"repro/internal/search"
+)
+
+func main() {
+	model := flag.String("model", "resnet-50", "model name (see internal/models)")
+	targetName := flag.String("target", "intel-skylake", "intel-skylake|amd-epyc|arm-cortex-a72")
+	levelName := flag.String("level", "global-search", "baseline-nchw|layout-opt|transform-elim|global-search")
+	threads := flag.Int("threads", 0, "execution width (0 = all cores)")
+	showSchemes := flag.Bool("schemes", false, "print the chosen scheme per convolution")
+	savePlan := flag.String("saveplan", "", "write the chosen schemes to this JSON file (re-apply with core.CompileWithPlan)")
+	flag.Parse()
+
+	t, err := machine.TargetByName(*targetName)
+	if err != nil {
+		fatal(err)
+	}
+	level, err := parseLevel(*levelName)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := models.Get(*model)
+	if err != nil {
+		fatal(err)
+	}
+
+	g := models.MustBuild(*model, 1)
+	pre := g.ComputeStats()
+
+	opts := core.Options{Level: level, Threads: *threads, NoPrepack: true}
+	if level == core.OptGlobalSearch {
+		opts.Search = search.Options{MaxCands: 10, ForcePBQP: spec.UsePBQP}
+	}
+	m, err := core.Compile(g, t, opts)
+	if err != nil {
+		fatal(err)
+	}
+	post := g.ComputeStats()
+
+	fmt.Printf("model:    %s (%s input %dx%dx%d)\n", spec.Display, *model, spec.InputC, spec.InputH, spec.InputW)
+	fmt.Printf("target:   %s\n", t)
+	fmt.Printf("level:    %v\n", level)
+	fmt.Printf("graph:    %d nodes -> %d nodes after passes (%d convs, %.2f GFLOPs, %.1fM params)\n",
+		pre.Nodes, post.Nodes, post.Convs, post.FLOPs/1e9, float64(post.Params)/1e6)
+	fmt.Printf("layout:   %d transform nodes survive (%d physically free)\n",
+		g.CountTransforms(), g.CountTransforms()-m.TransformCount())
+	if m.Search != nil {
+		fmt.Printf("search:   %s over %d convs, %d edges, %d candidate states in %v\n",
+			m.Search.Algorithm, m.Search.Vars, m.Search.Edges, m.Search.States, m.Search.Elapsed.Round(1000))
+	}
+	lat := m.PredictLatency(core.PredictConfig{})
+	fmt.Printf("latency:  %.2f ms predicted on %d cores (%v)\n", lat*1000, m.Threads(), m.Backend())
+
+	if *savePlan != "" {
+		f, err := os.Create(*savePlan)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.SavePlan(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan:     %d schemes written to %s\n", len(g.Convs()), *savePlan)
+	}
+
+	if *showSchemes {
+		fmt.Println("\nschemes:")
+		convs := g.Convs()
+		sort.SliceStable(convs, func(i, j int) bool { return convs[i].ID < convs[j].ID })
+		for _, n := range convs {
+			wl := graph.ConvWorkload(n)
+			fmt.Printf("  %-10s %-40s %v\n", n.Name, wl.Key(), n.Sched)
+		}
+	}
+}
+
+func parseLevel(s string) (core.OptLevel, error) {
+	for _, l := range []core.OptLevel{core.OptNone, core.OptLayout, core.OptTransformElim, core.OptGlobalSearch} {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown level %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neocpu-compile:", err)
+	os.Exit(1)
+}

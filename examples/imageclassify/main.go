@@ -1,0 +1,93 @@
+// Image classification end to end: a synthetic "camera frame" is normalized,
+// run through ResNet-50 compiled at each optimization level of Table 3, and
+// the levels are compared — same top-5 output, different predicted cost.
+//
+//	go run ./examples/imageclassify
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/models"
+	"repro/internal/search"
+	"repro/internal/tensor"
+)
+
+func main() {
+	target := machine.IntelSkylakeC5()
+
+	// A fake 224x224 RGB frame, ImageNet-style normalized.
+	frame := tensor.New(tensor.NCHW(), 1, 3, 224, 224)
+	frame.FillRandom(123, 1)
+	normalize(frame)
+
+	type result struct {
+		level core.OptLevel
+		ms    float64
+		top5  []int
+	}
+	var results []result
+	for _, level := range []core.OptLevel{
+		core.OptNone, core.OptLayout, core.OptTransformElim, core.OptGlobalSearch,
+	} {
+		g := models.MustBuild("resnet-50", 42)
+		opts := core.Options{Level: level, Threads: runtime.GOMAXPROCS(0)}
+		if level == core.OptGlobalSearch {
+			opts.Search = search.Options{MaxCands: 8}
+		}
+		mod, err := core.Compile(g, target, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outs, err := mod.Run(frame)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, result{
+			level: level,
+			ms:    mod.PredictLatency(core.PredictConfig{}) * 1000,
+			top5:  top5(outs[0]),
+		})
+		mod.Close()
+		fmt.Printf("%-16v predicted %7.2f ms on %s, top-5 %v\n",
+			level, results[len(results)-1].ms, target.Name, results[len(results)-1].top5)
+	}
+
+	// The optimizations must not change the answer (Section 4's sanity
+	// check).
+	for _, r := range results[1:] {
+		for i := range r.top5 {
+			if r.top5[i] != results[0].top5[i] {
+				log.Fatalf("%v changed the model output!", r.level)
+			}
+		}
+	}
+	fmt.Printf("\nall levels agree on the top-5; end-to-end speedup %0.1fx\n",
+		results[0].ms/results[len(results)-1].ms)
+}
+
+func normalize(t *tensor.Tensor) {
+	mean := [3]float32{0.485, 0.456, 0.406}
+	std := [3]float32{0.229, 0.224, 0.225}
+	hw := t.Shape[2] * t.Shape[3]
+	for c := 0; c < 3; c++ {
+		seg := t.Data[c*hw : (c+1)*hw]
+		for i := range seg {
+			seg[i] = (seg[i] - mean[c]) / std[c]
+		}
+	}
+}
+
+func top5(probs *tensor.Tensor) []int {
+	idx := make([]int, probs.Shape[1])
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return probs.Data[idx[a]] > probs.Data[idx[b]] })
+	return idx[:5]
+}

@@ -1,0 +1,54 @@
+// Quickstart: compile ResNet-18 with the full NeoCPU optimization pipeline
+// and run one inference on a synthetic image.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+func main() {
+	// 1. Build the model graph (synthetic seeded weights).
+	g := models.MustBuild("resnet-18", 42)
+
+	// 2. Compile for a CPU target. The target drives the schedule search;
+	//    execution happens on the host with however many threads you ask for.
+	target := machine.IntelSkylakeC5()
+	mod, err := core.Compile(g, target, core.Options{
+		Level:   core.OptGlobalSearch,
+		Threads: runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mod.Close()
+
+	// 3. Run an inference.
+	img := tensor.New(tensor.NCHW(), 1, 3, 224, 224)
+	img.FillRandom(7, 1)
+	outs, err := mod.Run(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	probs := outs[0]
+	bestClass, bestP := 0, float32(0)
+	for i, p := range probs.Data {
+		if p > bestP {
+			bestClass, bestP = i, p
+		}
+	}
+	fmt.Printf("compiled %s with %v: %d convolutions, %d layout transforms survive\n",
+		g.Name, mod.Level, len(g.Convs()), mod.TransformCount())
+	fmt.Printf("predicted latency on %s: %.2f ms\n",
+		target.Name, mod.PredictLatency(core.PredictConfig{})*1000)
+	fmt.Printf("top class: %d (p=%.4f)\n", bestClass, bestP)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/tensor"
+)
+
+// randomGraph builds a structurally random but valid CNN from a seed:
+// conv/BN/ReLU/pool/residual/concat stages followed by a classifier head.
+// It is the generator for the differential test below.
+func randomGraph(seed uint64) *graph.Graph {
+	rng := seed
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+
+	b := graph.NewBuilder("fuzz", seed)
+	x := b.Input(3, 32, 32)
+	h := 32
+	// Track same-shape candidates for residual connections.
+	var residualPool []*graph.Node
+
+	layers := 3 + next(5)
+	for i := 0; i < layers; i++ {
+		outC := []int{8, 12, 16, 24}[next(4)]
+		k := []int{1, 3, 5}[next(3)]
+		stride := 1
+		if h >= 8 && next(4) == 0 {
+			stride = 2
+		}
+		x = b.Conv(x, outC, k, stride, k/2)
+		h = (h+2*(k/2)-k)/stride + 1
+		if next(2) == 0 {
+			x = b.BatchNorm(x)
+		}
+		if next(3) != 0 {
+			x = b.ReLU(x)
+		}
+		if next(4) == 0 {
+			x = b.Dropout(x)
+		}
+		// Residual add against an earlier same-shape tensor.
+		for _, cand := range residualPool {
+			if cand.OutShape.Equal(x.OutShape) && next(2) == 0 {
+				x = b.Add(x, cand)
+				break
+			}
+		}
+		residualPool = append(residualPool, x)
+		// Occasional concat branch.
+		if next(4) == 0 {
+			branch := b.ReLU(b.Conv(x, 8, 1, 1, 0))
+			x = b.Concat(x, branch)
+			residualPool = nil // shapes changed
+		}
+		if h >= 8 && next(3) == 0 {
+			x = b.MaxPool(x, 2, 2, 0)
+			h /= 2
+			residualPool = nil
+		}
+	}
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, 10)
+	return b.Finish(b.Softmax(x))
+}
+
+// TestFuzzOptLevelsAgree is the differential property test: for randomly
+// generated graphs, every optimization level, precision aside, and every
+// threading backend must compute the same function as the unoptimized
+// serial NCHW baseline.
+func TestFuzzOptLevelsAgree(t *testing.T) {
+	tgt := skylake()
+	for seed := uint64(1); seed <= 12; seed++ {
+		g := randomGraph(seed)
+		in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+		in.FillRandom(seed*31, 1)
+
+		base, err := Compile(randomGraph(seed), tgt, Options{Level: OptNone, Threads: 1, Backend: machine.BackendSerial})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := base.Run(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		cases := []Options{
+			{Level: OptLayout, Threads: 1, Backend: machine.BackendSerial},
+			{Level: OptTransformElim, Threads: 3, Backend: machine.BackendPool},
+			{Level: OptGlobalSearch, Threads: 2, Backend: machine.BackendOMP},
+			{Level: OptTransformElim, Threads: 2, Backend: machine.BackendPool, DisableFusion: true},
+			{Level: OptTransformElim, Threads: 1, Backend: machine.BackendSerial, DisableBNFold: true},
+		}
+		for ci, opts := range cases {
+			m, err := Compile(randomGraph(seed), tgt, opts)
+			if err != nil {
+				t.Fatalf("seed %d case %d: %v", seed, ci, err)
+			}
+			got, err := m.Run(in)
+			if err != nil {
+				t.Fatalf("seed %d case %d: %v", seed, ci, err)
+			}
+			if !tensor.AllClose(want[0], got[0], 1e-4) {
+				t.Fatalf("seed %d case %d (%+v): output diverges by %g",
+					seed, ci, opts, tensor.MaxAbsDiff(want[0], got[0]))
+			}
+			m.Close()
+		}
+		_ = g
+	}
+}

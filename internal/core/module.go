@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/ops"
+	"repro/internal/quant"
+	"repro/internal/search"
+	"repro/internal/tensor"
+	"repro/internal/threadpool"
+)
+
+// Module is a compiled model: the optimized graph, the pre-transformed
+// parameters, and the threading runtime. It is the NeoCPU "standalone module
+// with minimal size" — executing it requires nothing beyond this package.
+type Module struct {
+	Graph  *graph.Graph
+	Target *machine.Target
+	Level  OptLevel
+	// Search carries the global-search diagnostics when Level is
+	// OptGlobalSearch (nil otherwise).
+	Search *search.Outcome
+	// Int8 marks quantized modules (blocked convolutions run in int8).
+	Int8 bool
+	// noPrepack marks prediction-only modules (weights were released).
+	noPrepack bool
+
+	threads int
+	backend machine.ThreadBackend
+	program []*graph.Node
+	// packed holds the compile-time pre-transformed OIHW[x]i[y]o weights.
+	packed map[*graph.Node]*tensor.Tensor
+	// qpacked holds the quantized pre-transformed weights (Int8 modules).
+	qpacked map[*graph.Node]*quant.QTensor
+	// anchors holds the pre-computed SSD anchor boxes per head node.
+	anchors map[*graph.Node]*tensor.Tensor
+
+	pool *threadpool.Pool
+	omp  *threadpool.OMPPool
+}
+
+// Threads returns the configured execution width.
+func (m *Module) Threads() int { return m.threads }
+
+// Backend returns the configured threading runtime.
+func (m *Module) Backend() machine.ThreadBackend { return m.backend }
+
+// parallelFor lazily constructs the threading runtime.
+func (m *Module) parallelFor() ops.ParallelFor {
+	switch m.backend {
+	case machine.BackendPool:
+		if m.pool == nil {
+			m.pool = threadpool.NewPool(m.threads)
+		}
+		return m.pool.ParallelFor
+	case machine.BackendOMP:
+		if m.omp == nil {
+			m.omp = threadpool.NewOMPPool(m.threads)
+		}
+		return m.omp.ParallelFor
+	default:
+		return threadpool.Serial
+	}
+}
+
+// Close releases the thread pool. The module remains usable; a subsequent
+// Run recreates the pool.
+func (m *Module) Close() {
+	if m.pool != nil {
+		m.pool.Close()
+		m.pool = nil
+	}
+}
+
+// Run executes the model on one NCHW input image and returns the outputs in
+// graph-output order. Classification models return (1, classes)
+// probabilities; SSD returns a (1, numDetections, 6) tensor whose rows are
+// (class, score, xmin, ymin, xmax, ymax).
+func (m *Module) Run(input *tensor.Tensor) ([]*tensor.Tensor, error) {
+	if m.noPrepack {
+		return nil, fmt.Errorf("core: module was compiled with NoPrepack (prediction-only); recompile without it to execute")
+	}
+	in := m.Graph.Input.OutShape
+	want := []int{in.Dims[0], in.Dims[1], in.Dims[2], in.Dims[3]}
+	if input.Layout.Kind != tensor.LayoutNCHW || len(input.Shape) != 4 {
+		return nil, fmt.Errorf("core: input must be NCHW rank-4, got %v %v", input.Layout, input.Shape)
+	}
+	for i, d := range want {
+		if input.Shape[i] != d {
+			return nil, fmt.Errorf("core: input shape %v, want %v", input.Shape, want)
+		}
+	}
+	pf := m.parallelFor()
+
+	env := make(map[*graph.Node]*tensor.Tensor, len(m.program))
+	for _, n := range m.program {
+		out, err := m.exec(n, env, input, pf)
+		if err != nil {
+			return nil, fmt.Errorf("core: executing %v: %w", n, err)
+		}
+		env[n] = out
+	}
+	outs := make([]*tensor.Tensor, len(m.Graph.Outputs))
+	for i, o := range m.Graph.Outputs {
+		outs[i] = env[o]
+	}
+	return outs, nil
+}
+
+func (m *Module) exec(n *graph.Node, env map[*graph.Node]*tensor.Tensor, input *tensor.Tensor, pf ops.ParallelFor) (*tensor.Tensor, error) {
+	arg := func(i int) *tensor.Tensor { return env[n.Inputs[i]] }
+	switch n.Op {
+	case graph.OpInput:
+		return input, nil
+
+	case graph.OpConv2D:
+		epi := ops.Epilogue{Bias: n.Bias, ReLU: n.FusedReLU}
+		if n.FusedResidual != nil {
+			epi.Residual = env[n.FusedResidual]
+		}
+		switch n.Sched.Layout.Kind {
+		case tensor.LayoutNCHWc:
+			if m.Int8 {
+				// Dynamic activation quantization: symmetric per-tensor
+				// scale from this activation's max-abs, then the int32-
+				// accumulating blocked kernel with fused rescale.
+				qin := quant.Quantize(arg(0))
+				return quant.Conv2DInt8NCHWc(qin, m.qpacked[n], n.Conv,
+					n.Sched.ICBlock, n.Sched.OCBlock, n.Sched.RegN, epi, pf), nil
+			}
+			return ops.Conv2DNCHWc(arg(0), m.packed[n], n.Conv,
+				n.Sched.ICBlock, n.Sched.OCBlock, n.Sched.RegN, n.Sched.UnrollKer, epi, pf), nil
+		case tensor.LayoutNHWC:
+			return ops.Conv2DNHWC(arg(0), n.Weight, n.Conv, epi, pf), nil
+		default:
+			return ops.Conv2DNCHW(arg(0), n.Weight, n.Conv, epi, pf), nil
+		}
+
+	case graph.OpBatchNorm:
+		return ops.BatchNormInference(arg(0), n.BN, pf), nil
+	case graph.OpReLU:
+		return ops.ReLU(arg(0), pf), nil
+	case graph.OpDropout:
+		return arg(0), nil
+	case graph.OpPool:
+		return ops.Pool2D(arg(0), n.Pool, pf), nil
+	case graph.OpGlobalAvgPool:
+		return ops.GlobalAvgPool(arg(0), pf), nil
+	case graph.OpAdd:
+		return ops.Add(arg(0), arg(1), pf), nil
+	case graph.OpConcat:
+		ins := make([]*tensor.Tensor, len(n.Inputs))
+		for i := range n.Inputs {
+			ins[i] = arg(i)
+		}
+		return ops.Concat(ins, pf), nil
+	case graph.OpFlatten:
+		return ops.Flatten(arg(0)), nil
+	case graph.OpDense:
+		return ops.Dense(arg(0), n.Weight, n.Bias, false, pf), nil
+	case graph.OpSoftmax:
+		return ops.Softmax(arg(0)), nil
+	case graph.OpLayoutTransform:
+		return tensor.Transform(arg(0), n.Transform), nil
+	case graph.OpSSDHead:
+		return m.execSSDHead(n, env)
+	}
+	return nil, fmt.Errorf("unsupported op %v", n.Op)
+}
+
+// buildAnchors concatenates the per-scale MultiBoxPrior outputs for one SSD
+// head at compile time.
+func buildAnchors(n *graph.Node) *tensor.Tensor {
+	var all []float32
+	total := 0
+	for i := 0; i < len(n.Inputs); i += 2 {
+		cls := n.Inputs[i].OutShape
+		h, w := cls.Dims[2], cls.Dims[3]
+		a := ops.MultiBoxPrior(h, w, n.SSD.Sizes[i/2], n.SSD.Ratios[i/2])
+		all = append(all, a.Data...)
+		total += a.Shape[1]
+	}
+	return tensor.FromData(tensor.Flat(), all, 1, total, 4)
+}
+
+// execSSDHead gathers the per-scale class/location convolution outputs,
+// rearranges them into per-anchor order, applies softmax over classes, and
+// decodes+NMSes via MultiBoxDetection.
+func (m *Module) execSSDHead(n *graph.Node, env map[*graph.Node]*tensor.Tensor) (*tensor.Tensor, error) {
+	numClasses := n.SSD.NumClasses
+	anchorsT := m.anchors[n]
+	numAnchors := anchorsT.Shape[1]
+
+	clsLogits := make([]float32, (numClasses+1)*numAnchors) // [class][anchor]
+	locPred := make([]float32, numAnchors*4)
+
+	base := 0
+	for i := 0; i < len(n.Inputs); i += 2 {
+		cls := env[n.Inputs[i]]
+		loc := env[n.Inputs[i+1]]
+		if cls.Layout.Kind != tensor.LayoutNCHW || loc.Layout.Kind != tensor.LayoutNCHW {
+			return nil, fmt.Errorf("ssd head requires NCHW inputs, got %v/%v", cls.Layout, loc.Layout)
+		}
+		per := len(n.SSD.Sizes[i/2]) + len(n.SSD.Ratios[i/2]) - 1
+		h, w := cls.Shape[2], cls.Shape[3]
+		// cls channels: a*(numClasses+1)+c; anchor index: (y*w+x)*per + a.
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				for a := 0; a < per; a++ {
+					anchor := base + (y*w+x)*per + a
+					for c := 0; c <= numClasses; c++ {
+						v := cls.Data[((a*(numClasses+1)+c)*h+y)*w+x]
+						clsLogits[c*numAnchors+anchor] = v
+					}
+					for k := 0; k < 4; k++ {
+						locPred[anchor*4+k] = loc.Data[((a*4+k)*h+y)*w+x]
+					}
+				}
+			}
+		}
+		base += per * h * w
+	}
+
+	// Softmax over classes per anchor.
+	probs := make([]float32, len(clsLogits))
+	for a := 0; a < numAnchors; a++ {
+		maxV := clsLogits[a]
+		for c := 1; c <= numClasses; c++ {
+			if v := clsLogits[c*numAnchors+a]; v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for c := 0; c <= numClasses; c++ {
+			e := math.Exp(float64(clsLogits[c*numAnchors+a] - maxV))
+			probs[c*numAnchors+a] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for c := 0; c <= numClasses; c++ {
+			probs[c*numAnchors+a] *= inv
+		}
+	}
+
+	clsT := tensor.FromData(tensor.Flat(), probs, 1, numClasses+1, numAnchors)
+	locT := tensor.FromData(tensor.Flat(), locPred, 1, numAnchors*4)
+	dets := ops.MultiBoxDetection(clsT, locT, anchorsT, n.SSD.Detection)
+
+	out := tensor.New(tensor.Flat(), 1, len(dets), 6)
+	for i, d := range dets {
+		off := i * 6
+		out.Data[off] = float32(d.Class)
+		out.Data[off+1] = d.Score
+		out.Data[off+2] = d.Box[0]
+		out.Data[off+3] = d.Box[1]
+		out.Data[off+4] = d.Box[2]
+		out.Data[off+5] = d.Box[3]
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/tensor"
+)
+
+// This file implements plan serialization: the optimization schemes a
+// (possibly hours-long, in the paper's TVM setting) search produced can be
+// exported and re-applied to a freshly built model without searching again —
+// the compile-once/deploy-everywhere flow of the SageMaker Neo service the
+// paper describes.
+
+// PlanEntry is one convolution's serialized scheme. Convolutions are
+// identified by their builder-assigned layer name, which is deterministic
+// for a given model builder.
+type PlanEntry struct {
+	Conv      string `json:"conv"`
+	Layout    string `json:"layout"` // "nchw", "nhwc" or "nchwc"
+	ICBlock   int    `json:"ic_bn,omitempty"`
+	OCBlock   int    `json:"oc_bn,omitempty"`
+	RegN      int    `json:"reg_n,omitempty"`
+	UnrollKer bool   `json:"unroll_ker,omitempty"`
+}
+
+// PlanFile is the serialized compilation plan.
+type PlanFile struct {
+	Model   string      `json:"model"`
+	Target  string      `json:"target"`
+	Level   string      `json:"level"`
+	Entries []PlanEntry `json:"entries"`
+}
+
+// SavePlan serializes the module's chosen per-convolution schemes as JSON.
+func (m *Module) SavePlan(w io.Writer) error {
+	pf := PlanFile{
+		Model:  m.Graph.Name,
+		Target: m.Target.Name,
+		Level:  m.Level.String(),
+	}
+	for _, n := range m.Graph.Convs() {
+		e := PlanEntry{Conv: n.Name}
+		switch n.Sched.Layout.Kind {
+		case tensor.LayoutNCHWc:
+			e.Layout = "nchwc"
+			e.ICBlock = n.Sched.ICBlock
+			e.OCBlock = n.Sched.OCBlock
+			e.RegN = n.Sched.RegN
+			e.UnrollKer = n.Sched.UnrollKer
+		case tensor.LayoutNHWC:
+			e.Layout = "nhwc"
+		default:
+			e.Layout = "nchw"
+		}
+		pf.Entries = append(pf.Entries, e)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pf)
+}
+
+// LoadPlan parses a serialized plan.
+func LoadPlan(r io.Reader) (*PlanFile, error) {
+	var pf PlanFile
+	if err := json.NewDecoder(r).Decode(&pf); err != nil {
+		return nil, fmt.Errorf("core: load plan: %w", err)
+	}
+	return &pf, nil
+}
+
+// Apply resolves the plan against a freshly built graph of the same model,
+// returning a layout plan keyed by the graph's own conv nodes. Every
+// convolution in the graph must have an entry; extra entries are an error so
+// stale plans fail loudly.
+func (pf *PlanFile) Apply(g *graph.Graph) (graph.LayoutPlan, error) {
+	byName := make(map[string]PlanEntry, len(pf.Entries))
+	for _, e := range pf.Entries {
+		if _, dup := byName[e.Conv]; dup {
+			return nil, fmt.Errorf("core: plan has duplicate entry for %q", e.Conv)
+		}
+		byName[e.Conv] = e
+	}
+	plan := graph.LayoutPlan{}
+	for _, n := range g.Convs() {
+		e, ok := byName[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: plan has no entry for convolution %q", n.Name)
+		}
+		delete(byName, n.Name)
+		var s machine.ConvSchedule
+		switch e.Layout {
+		case "nchwc":
+			s = machine.ConvSchedule{
+				Layout:  tensor.NCHWc(e.ICBlock),
+				ICBlock: e.ICBlock, OCBlock: e.OCBlock,
+				RegN: e.RegN, UnrollKer: e.UnrollKer,
+			}
+			wl := graph.ConvWorkload(n)
+			if e.ICBlock <= 0 || wl.InC%e.ICBlock != 0 || e.OCBlock <= 0 || wl.OutC%e.OCBlock != 0 {
+				return nil, fmt.Errorf("core: plan entry %q blocks (%d,%d) do not divide channels (%d,%d)",
+					e.Conv, e.ICBlock, e.OCBlock, wl.InC, wl.OutC)
+			}
+		case "nhwc":
+			s = machine.ConvSchedule{Layout: tensor.NHWC()}
+		case "nchw":
+			s = machine.ConvSchedule{Layout: tensor.NCHW()}
+		default:
+			return nil, fmt.Errorf("core: plan entry %q has unknown layout %q", e.Conv, e.Layout)
+		}
+		plan[n] = s
+	}
+	if len(byName) != 0 {
+		for name := range byName {
+			return nil, fmt.Errorf("core: plan entry %q matches no convolution in graph %q", name, g.Name)
+		}
+	}
+	return plan, nil
+}
+
+// CompileWithPlan compiles a graph using a previously saved plan instead of
+// running any search. The target must match the plan's.
+func CompileWithPlan(g *graph.Graph, t *machine.Target, pf *PlanFile, opts Options) (*Module, error) {
+	if pf.Target != "" && pf.Target != t.Name {
+		return nil, fmt.Errorf("core: plan was produced for target %q, compiling for %q", pf.Target, t.Name)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := graph.RemoveDropout(g); err != nil {
+		return nil, err
+	}
+	if !opts.DisableBNFold {
+		if err := graph.FoldBatchNorms(g); err != nil {
+			return nil, err
+		}
+	}
+	if !opts.DisableFusion {
+		if err := graph.FuseOps(g); err != nil {
+			return nil, err
+		}
+	}
+	plan, err := pf.Apply(g)
+	if err != nil {
+		return nil, err
+	}
+	if err := graph.AlterOpLayout(g, plan, true); err != nil {
+		return nil, fmt.Errorf("core: alter op layout: %w", err)
+	}
+	return finalizeModule(g, t, OptGlobalSearch, nil, opts)
+}

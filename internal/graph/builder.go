@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Builder constructs graphs layer by layer, allocating deterministic
+// seeded synthetic parameters (the substitution for model-zoo weights; the
+// evaluation measures latency, not accuracy). Shapes are inferred
+// incrementally so layer methods can size weights automatically.
+type Builder struct {
+	g     *Graph
+	seed  uint64
+	names map[string]int
+	// ShapeOnlyParams, when set before adding layers, allocates weight
+	// tensors with shapes but no data. Such graphs support every pass and
+	// the latency predictor but cannot be executed; latency-simulation
+	// harnesses use this to avoid materializing hundreds of megabytes of
+	// VGG parameters per compilation.
+	ShapeOnlyParams bool
+}
+
+// NewBuilder starts a graph with the given name and parameter seed.
+func NewBuilder(name string, seed uint64) *Builder {
+	return &Builder{g: NewGraph(name), seed: seed, names: map[string]int{}}
+}
+
+func (b *Builder) fresh(prefix string) string {
+	b.names[prefix]++
+	return fmt.Sprintf("%s%d", prefix, b.names[prefix])
+}
+
+func (b *Builder) nextSeed() uint64 {
+	b.seed = b.seed*6364136223846793005 + 1442695040888963407
+	return b.seed
+}
+
+func (b *Builder) add(n *Node) *Node {
+	b.g.AddNode(n)
+	// Incremental shape inference: the node's inputs were added earlier and
+	// already carry shapes.
+	s, err := inferNode(n)
+	if err != nil {
+		panic(fmt.Sprintf("graph builder: %v: %v", n, err))
+	}
+	n.OutShape = s
+	return n
+}
+
+// Input declares the (1, c, h, w) data input. The paper's latency
+// experiments all use batch 1; use InputBatch for throughput-style graphs.
+func (b *Builder) Input(c, h, w int) *Node {
+	return b.InputBatch(1, c, h, w)
+}
+
+// InputBatch declares an (n, c, h, w) data input ("NeoCPU works for larger
+// batch sizes as well, in which cases we just need to add the N value to our
+// configuration tuple", Section 4).
+func (b *Builder) InputBatch(n, c, h, w int) *Node {
+	if b.g.Input != nil {
+		panic("graph builder: second Input")
+	}
+	if n < 1 {
+		panic("graph builder: batch must be >= 1")
+	}
+	node := &Node{Name: "data", Op: OpInput, OutShape: Shape{Dims: []int{n, c, h, w}}}
+	b.g.Input = node
+	return b.add(node)
+}
+
+// Conv adds a convolution with a square k×k kernel.
+func (b *Builder) Conv(x *Node, outC, k, stride, pad int) *Node {
+	return b.ConvRect(x, outC, k, k, stride, stride, pad, pad)
+}
+
+// ConvRect adds a convolution with full geometry control.
+func (b *Builder) ConvRect(x *Node, outC, kh, kw, sh, sw, ph, pw int) *Node {
+	inC := x.OutShape.Dims[1]
+	var w *tensor.Tensor
+	if b.ShapeOnlyParams {
+		w = &tensor.Tensor{Shape: []int{outC, inC, kh, kw}, Layout: tensor.OIHW()}
+	} else {
+		w = tensor.New(tensor.OIHW(), outC, inC, kh, kw)
+		// He-style scale keeps activations bounded through deep nets.
+		w.FillRandom(b.nextSeed(), float32(1.0/float64(inC*kh*kw)))
+	}
+	n := &Node{
+		Name: b.fresh("conv"), Op: OpConv2D, Inputs: []*Node{x},
+		Conv:   ops.Conv2DAttrs{OutC: outC, KH: kh, KW: kw, StrideH: sh, StrideW: sw, PadH: ph, PadW: pw},
+		Weight: w,
+	}
+	return b.add(n)
+}
+
+// BatchNorm adds an inference-mode batch normalization with synthetic
+// statistics.
+func (b *Builder) BatchNorm(x *Node) *Node {
+	c := x.OutShape.Dims[1]
+	mk := func(scale, bias float32) []float32 {
+		t := tensor.New(tensor.Flat(), 1, c)
+		t.FillRandom(b.nextSeed(), scale)
+		out := make([]float32, c)
+		for i, v := range t.Data {
+			out[i] = v + bias
+		}
+		return out
+	}
+	n := &Node{
+		Name: b.fresh("bn"), Op: OpBatchNorm, Inputs: []*Node{x},
+		BN: ops.BatchNormParams{
+			Gamma: mk(0.1, 1), Beta: mk(0.1, 0),
+			Mean: mk(0.1, 0), Var: mk(0.05, 1),
+			Eps: 1e-5,
+		},
+	}
+	return b.add(n)
+}
+
+// ReLU adds the activation.
+func (b *Builder) ReLU(x *Node) *Node {
+	return b.add(&Node{Name: b.fresh("relu"), Op: OpReLU, Inputs: []*Node{x}})
+}
+
+// ConvBNReLU is the ubiquitous conv → batch_norm → relu block.
+func (b *Builder) ConvBNReLU(x *Node, outC, k, stride, pad int) *Node {
+	return b.ReLU(b.BatchNorm(b.Conv(x, outC, k, stride, pad)))
+}
+
+// MaxPool adds k×k max pooling.
+func (b *Builder) MaxPool(x *Node, k, stride, pad int) *Node {
+	n := &Node{
+		Name: b.fresh("maxpool"), Op: OpPool, Inputs: []*Node{x},
+		Pool: ops.PoolAttrs{Kind: ops.MaxPool, KH: k, KW: k, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad},
+	}
+	return b.add(n)
+}
+
+// AvgPool adds k×k average pooling.
+func (b *Builder) AvgPool(x *Node, k, stride, pad int) *Node {
+	n := &Node{
+		Name: b.fresh("avgpool"), Op: OpPool, Inputs: []*Node{x},
+		Pool: ops.PoolAttrs{Kind: ops.AvgPool, KH: k, KW: k, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad},
+	}
+	return b.add(n)
+}
+
+// GlobalAvgPool adds global average pooling.
+func (b *Builder) GlobalAvgPool(x *Node) *Node {
+	return b.add(&Node{Name: b.fresh("gap"), Op: OpGlobalAvgPool, Inputs: []*Node{x}})
+}
+
+// Add joins two branches element-wise.
+func (b *Builder) Add(x, y *Node) *Node {
+	return b.add(&Node{Name: b.fresh("add"), Op: OpAdd, Inputs: []*Node{x, y}})
+}
+
+// Concat joins branches along the channel dimension.
+func (b *Builder) Concat(xs ...*Node) *Node {
+	if len(xs) < 2 {
+		panic("graph builder: Concat needs >= 2 inputs")
+	}
+	return b.add(&Node{Name: b.fresh("concat"), Op: OpConcat, Inputs: append([]*Node(nil), xs...)})
+}
+
+// Flatten reshapes to (batch, features).
+func (b *Builder) Flatten(x *Node) *Node {
+	return b.add(&Node{Name: b.fresh("flatten"), Op: OpFlatten, Inputs: []*Node{x}})
+}
+
+// Dense adds a fully-connected layer.
+func (b *Builder) Dense(x *Node, out int) *Node {
+	in := x.OutShape.Dims[1]
+	var w *tensor.Tensor
+	if b.ShapeOnlyParams {
+		w = &tensor.Tensor{Shape: []int{out, in}, Layout: tensor.Flat()}
+	} else {
+		w = tensor.New(tensor.Flat(), out, in)
+		w.FillRandom(b.nextSeed(), float32(1.0/float64(in)))
+	}
+	bias := make([]float32, out)
+	n := &Node{
+		Name: b.fresh("fc"), Op: OpDense, Inputs: []*Node{x},
+		DenseOut: out, Weight: w, Bias: bias,
+	}
+	return b.add(n)
+}
+
+// Dropout adds an inference-time identity dropout (removed by
+// SimplifyInference).
+func (b *Builder) Dropout(x *Node) *Node {
+	return b.add(&Node{Name: b.fresh("dropout"), Op: OpDropout, Inputs: []*Node{x}})
+}
+
+// Softmax adds the final normalization over flat logits.
+func (b *Builder) Softmax(x *Node) *Node {
+	return b.add(&Node{Name: b.fresh("softmax"), Op: OpSoftmax, Inputs: []*Node{x}})
+}
+
+// SSDHead adds the multibox detection head. pairs alternate (cls, loc)
+// convolution outputs, one pair per scale; attrs carries the per-scale
+// anchor configuration.
+func (b *Builder) SSDHead(attrs SSDHeadAttrs, pairs ...*Node) *Node {
+	if len(pairs) == 0 || len(pairs)%2 != 0 {
+		panic("graph builder: SSDHead needs (cls, loc) pairs")
+	}
+	if len(attrs.Sizes) != len(pairs)/2 || len(attrs.Ratios) != len(pairs)/2 {
+		panic("graph builder: SSDHead anchor config must match scale count")
+	}
+	a := attrs
+	n := &Node{Name: b.fresh("ssd_head"), Op: OpSSDHead, Inputs: append([]*Node(nil), pairs...), SSD: &a}
+	return b.add(n)
+}
+
+// Finish declares the outputs and returns the validated graph.
+func (b *Builder) Finish(outputs ...*Node) *Graph {
+	if len(outputs) == 0 {
+		panic("graph builder: Finish needs outputs")
+	}
+	b.g.Outputs = append([]*Node(nil), outputs...)
+	if err := b.g.Validate(); err != nil {
+		panic(fmt.Sprintf("graph builder: %v", err))
+	}
+	if err := InferShapes(b.g); err != nil {
+		panic(fmt.Sprintf("graph builder: %v", err))
+	}
+	return b.g
+}

@@ -1,0 +1,23 @@
+package graph
+
+// EliminateDeadNodes removes nodes that are not reachable from any graph
+// output. Dead nodes arise when passes rewire edges (fusion leaves its
+// absorbed operators disconnected only if a rewrite missed them) or when a
+// model builder constructs speculative branches; the executor walks the
+// topological order from the outputs, so dead nodes would never run, but
+// they inflate statistics and keep parameter memory alive.
+// It returns the number of removed nodes.
+func EliminateDeadNodes(g *Graph) int {
+	reachable := make(map[*Node]bool, len(g.nodes))
+	for _, n := range g.Topo() { // Topo walks only what the outputs reach
+		reachable[n] = true
+	}
+	dead := map[*Node]bool{}
+	for _, n := range g.nodes {
+		if !reachable[n] {
+			dead[n] = true
+		}
+	}
+	g.removeNodes(dead)
+	return len(dead)
+}

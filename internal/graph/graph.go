@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Graph is a computation DAG. Nodes hold their producer edges; Outputs lists
+// the result nodes. There is exactly one OpInput node.
+type Graph struct {
+	Name    string
+	Input   *Node
+	Outputs []*Node
+
+	nodes  []*Node
+	nextID int
+}
+
+// NewGraph creates an empty graph.
+func NewGraph(name string) *Graph {
+	return &Graph{Name: name}
+}
+
+// AddNode appends a node, assigning its ID. Inputs must already be members.
+func (g *Graph) AddNode(n *Node) *Node {
+	n.ID = g.nextID
+	g.nextID++
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Nodes returns the nodes in insertion order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// Convs returns the convolution nodes in topological order.
+func (g *Graph) Convs() []*Node {
+	var out []*Node
+	for _, n := range g.Topo() {
+		if n.IsConv() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Topo returns the nodes in a topological order (inputs before consumers).
+// It panics if the graph has a cycle, which the builder cannot construct.
+func (g *Graph) Topo() []*Node {
+	state := make(map[*Node]int, len(g.nodes)) // 0 unvisited, 1 visiting, 2 done
+	order := make([]*Node, 0, len(g.nodes))
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		switch state[n] {
+		case 1:
+			panic(fmt.Sprintf("graph: cycle through %v", n))
+		case 2:
+			return
+		}
+		state[n] = 1
+		for _, in := range n.Inputs {
+			visit(in)
+		}
+		state[n] = 2
+		order = append(order, n)
+	}
+	for _, out := range g.Outputs {
+		visit(out)
+	}
+	return order
+}
+
+// Consumers builds the reverse-edge map: for each node, the nodes that read
+// its output (with multiplicity collapsed).
+func (g *Graph) Consumers() map[*Node][]*Node {
+	cons := make(map[*Node][]*Node, len(g.nodes))
+	for _, n := range g.Topo() {
+		seen := map[*Node]bool{}
+		for _, in := range n.Inputs {
+			if !seen[in] {
+				cons[in] = append(cons[in], n)
+				seen[in] = true
+			}
+		}
+	}
+	return cons
+}
+
+// Validate checks structural invariants: exactly one input, acyclicity,
+// every node's inputs are graph members, and outputs are non-empty.
+func (g *Graph) Validate() error {
+	if g.Input == nil {
+		return fmt.Errorf("graph %q: no input node", g.Name)
+	}
+	if len(g.Outputs) == 0 {
+		return fmt.Errorf("graph %q: no outputs", g.Name)
+	}
+	member := make(map[*Node]bool, len(g.nodes))
+	for _, n := range g.nodes {
+		member[n] = true
+	}
+	for _, n := range g.nodes {
+		for _, in := range n.Inputs {
+			if !member[in] {
+				return fmt.Errorf("graph %q: node %v references non-member %v", g.Name, n, in)
+			}
+		}
+	}
+	// Topo panics on cycles; convert to error.
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%v", r)
+			}
+		}()
+		g.Topo()
+	}()
+	return err
+}
+
+// replaceInput rewires every consumer edge pointing at old to point at new.
+func (g *Graph) replaceInput(old, new *Node) {
+	for _, n := range g.nodes {
+		for i, in := range n.Inputs {
+			if in == old {
+				n.Inputs[i] = new
+			}
+		}
+		if n.FusedResidual == old {
+			n.FusedResidual = new
+		}
+	}
+	for i, out := range g.Outputs {
+		if out == old {
+			g.Outputs[i] = new
+		}
+	}
+}
+
+// removeNodes drops the given nodes from the node list (edges must already
+// be rewired).
+func (g *Graph) removeNodes(dead map[*Node]bool) {
+	kept := g.nodes[:0]
+	for _, n := range g.nodes {
+		if !dead[n] {
+			kept = append(kept, n)
+		}
+	}
+	g.nodes = kept
+}
+
+// ConvWorkload derives the machine-level workload of a convolution node from
+// its input's inferred shape. InferShapes must have run.
+func ConvWorkload(n *Node) machine.ConvWorkload {
+	if !n.IsConv() {
+		panic(fmt.Sprintf("graph: ConvWorkload on %v", n))
+	}
+	in := n.Inputs[0].OutShape
+	if len(in.Dims) != 4 {
+		panic(fmt.Sprintf("graph: conv %v input shape %v not rank 4", n, in))
+	}
+	return machine.ConvWorkload{
+		InC: in.Dims[1], InH: in.Dims[2], InW: in.Dims[3],
+		OutC: n.Conv.OutC, KH: n.Conv.KH, KW: n.Conv.KW,
+		StrideH: n.Conv.StrideH, StrideW: n.Conv.StrideW,
+		PadH: n.Conv.PadH, PadW: n.Conv.PadW,
+	}
+}
+
+// Stats summarizes a graph for reports.
+type Stats struct {
+	Nodes, Convs, Transforms int
+	FLOPs                    float64
+	Params                   int
+}
+
+// ComputeStats tallies node counts, convolution FLOPs and parameter counts.
+// InferShapes must have run for FLOPs to be meaningful.
+func (g *Graph) ComputeStats() Stats {
+	var s Stats
+	for _, n := range g.Topo() {
+		s.Nodes++
+		switch n.Op {
+		case OpConv2D:
+			s.Convs++
+			s.FLOPs += ConvWorkload(n).FLOPs()
+		case OpLayoutTransform:
+			s.Transforms++
+		case OpDense:
+			s.FLOPs += 2 * float64(n.Weight.Shape[0]) * float64(n.Weight.Shape[1])
+		}
+		if n.Weight != nil {
+			s.Params += n.Weight.NumElements()
+		}
+		s.Params += len(n.Bias)
+	}
+	return s
+}

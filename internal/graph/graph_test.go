@@ -1,0 +1,430 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/tensor"
+)
+
+// tinyCNN builds input -> conv -> bn -> relu -> maxpool -> conv -> bn ->
+// relu -> gap -> flatten -> dense -> softmax.
+func tinyCNN() *Graph {
+	b := NewBuilder("tiny", 1)
+	x := b.Input(3, 32, 32)
+	x = b.ConvBNReLU(x, 16, 3, 1, 1)
+	x = b.MaxPool(x, 2, 2, 0)
+	x = b.ConvBNReLU(x, 32, 3, 1, 1)
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, 10)
+	x = b.Softmax(x)
+	return b.Finish(x)
+}
+
+// tinyResNet builds one residual block with a downsample branch.
+func tinyResNet() *Graph {
+	b := NewBuilder("tinyres", 2)
+	x := b.Input(8, 16, 16)
+	stem := b.ConvBNReLU(x, 16, 3, 1, 1)
+	br := b.ConvBNReLU(stem, 16, 3, 1, 1)
+	br = b.BatchNorm(b.Conv(br, 16, 3, 1, 1))
+	sum := b.Add(br, stem)
+	out := b.ReLU(sum)
+	out = b.GlobalAvgPool(out)
+	out = b.Flatten(out)
+	out = b.Dense(out, 10)
+	return b.Finish(out)
+}
+
+func TestBuilderShapes(t *testing.T) {
+	g := tinyCNN()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out := g.Outputs[0]
+	if !out.OutShape.Equal(Shape{Dims: []int{1, 10}}) {
+		t.Fatalf("output shape = %v", out.OutShape)
+	}
+	// Find the pool node and check its shape.
+	for _, n := range g.Nodes() {
+		if n.Op == OpPool {
+			if !n.OutShape.Equal(Shape{Dims: []int{1, 16, 16, 16}}) {
+				t.Fatalf("pool shape = %v", n.OutShape)
+			}
+		}
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := tinyResNet()
+	pos := map[*Node]int{}
+	for i, n := range g.Topo() {
+		pos[n] = i
+	}
+	for _, n := range g.Topo() {
+		for _, in := range n.Inputs {
+			if pos[in] >= pos[n] {
+				t.Fatalf("topo violation: %v before %v", n, in)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesMissingInput(t *testing.T) {
+	g := NewGraph("broken")
+	n := &Node{Op: OpReLU, Inputs: []*Node{{Op: OpInput}}}
+	g.AddNode(n)
+	g.Outputs = []*Node{n}
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected validation error for non-member input and missing graph input")
+	}
+}
+
+func TestConsumers(t *testing.T) {
+	g := tinyResNet()
+	cons := g.Consumers()
+	// The stem's ReLU feeds both the branch conv and the add (pre-fusion).
+	var stem *Node
+	for _, n := range g.Topo() {
+		if n.Op == OpReLU && len(cons[n]) == 2 {
+			stem = n
+		}
+	}
+	if stem == nil {
+		t.Fatal("expected a node with two consumers (residual fork)")
+	}
+}
+
+func TestSimplifyInferenceFoldsBNAndDropout(t *testing.T) {
+	b := NewBuilder("d", 3)
+	x := b.Input(4, 8, 8)
+	x = b.Conv(x, 8, 3, 1, 1)
+	x = b.BatchNorm(x)
+	x = b.ReLU(x)
+	x = b.Dropout(x)
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	g := b.Finish(b.Dense(x, 4))
+
+	if err := SimplifyInference(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Topo() {
+		if n.Op == OpDropout {
+			t.Fatal("dropout must be removed")
+		}
+		if n.Op == OpBatchNorm {
+			t.Fatal("batch norm after conv must be folded")
+		}
+		if n.IsConv() && n.Bias == nil {
+			t.Fatal("folded conv must carry a bias")
+		}
+	}
+}
+
+func TestSimplifyKeepsBNWithoutConv(t *testing.T) {
+	// BN directly on the input cannot fold.
+	b := NewBuilder("d", 4)
+	x := b.Input(4, 8, 8)
+	x = b.BatchNorm(x)
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	g := b.Finish(b.Dense(x, 2))
+	if err := SimplifyInference(g); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range g.Topo() {
+		if n.Op == OpBatchNorm {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("BN without preceding conv must survive")
+	}
+}
+
+func TestFuseOpsConvReLU(t *testing.T) {
+	g := tinyCNN()
+	if err := Optimize(g); err != nil {
+		t.Fatal(err)
+	}
+	relus, convs := 0, 0
+	for _, n := range g.Topo() {
+		switch n.Op {
+		case OpReLU:
+			relus++
+		case OpConv2D:
+			convs++
+			if !n.FusedReLU {
+				t.Fatalf("conv %v should carry fused relu", n)
+			}
+		}
+	}
+	if relus != 0 {
+		t.Fatalf("standalone relus remaining: %d", relus)
+	}
+	if convs != 2 {
+		t.Fatalf("convs = %d, want 2", convs)
+	}
+}
+
+func TestFuseOpsResidual(t *testing.T) {
+	g := tinyResNet()
+	if err := Optimize(g); err != nil {
+		t.Fatal(err)
+	}
+	var fused *Node
+	adds := 0
+	for _, n := range g.Topo() {
+		if n.Op == OpAdd {
+			adds++
+		}
+		if n.IsConv() && n.FusedResidual != nil {
+			fused = n
+		}
+	}
+	if adds != 0 {
+		t.Fatal("residual add must fuse into the branch conv")
+	}
+	if fused == nil {
+		t.Fatal("no conv carries the fused residual")
+	}
+	if !fused.FusedReLU {
+		t.Fatal("the post-add relu must fuse into the same conv")
+	}
+	if len(fused.Inputs) != 2 || fused.Inputs[1] != fused.FusedResidual {
+		t.Fatal("residual must be the conv's second input")
+	}
+}
+
+func TestUniformPlanClampsToDivisors(t *testing.T) {
+	b := NewBuilder("d", 5)
+	x := b.Input(3, 16, 16) // 3 input channels: block must divide 3
+	x = b.Conv(x, 16, 3, 1, 1)
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	g := b.Finish(b.Dense(x, 2))
+	plan := UniformPlan(g, 16, 8, true)
+	conv := g.Convs()[0]
+	s := plan[conv]
+	if s.ICBlock != 3 {
+		t.Fatalf("ic block = %d, want 3 (largest divisor of 3)", s.ICBlock)
+	}
+	if s.OCBlock != 16 {
+		t.Fatalf("oc block = %d, want 16", s.OCBlock)
+	}
+}
+
+func TestAlterOpLayoutEliminationReducesTransforms(t *testing.T) {
+	mk := func() *Graph {
+		g := tinyCNN()
+		if err := Optimize(g); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	gElim := mk()
+	if err := AlterOpLayout(gElim, UniformPlan(gElim, 8, 4, true), true); err != nil {
+		t.Fatal(err)
+	}
+	gLib := mk()
+	if err := AlterOpLayout(gLib, UniformPlan(gLib, 8, 4, true), false); err != nil {
+		t.Fatal(err)
+	}
+
+	e, l := gElim.CountTransforms(), gLib.CountTransforms()
+	if e >= l {
+		t.Fatalf("elimination must reduce transforms: eliminated=%d library=%d", e, l)
+	}
+	// With elimination the blocked layout flows conv->pool->conv; only the
+	// input transform remains (global pool emits NCHW).
+	if e != 1 {
+		t.Fatalf("eliminated graph transforms = %d, want 1", e)
+	}
+	// Library mode pays one in-transform per conv plus one out-transform per
+	// conv (the first conv's in-transform comes straight from NCHW input).
+	if l < 3 {
+		t.Fatalf("library graph transforms = %d, want >= 3", l)
+	}
+}
+
+func TestAlterOpLayoutMismatchedBlocksInsertTransform(t *testing.T) {
+	b := NewBuilder("mm", 6)
+	x := b.Input(8, 8, 8)
+	c1 := b.Conv(x, 16, 3, 1, 1)
+	c2 := b.Conv(c1, 16, 3, 1, 1)
+	x = b.GlobalAvgPool(c2)
+	x = b.Flatten(x)
+	g := b.Finish(b.Dense(x, 2))
+
+	plan := LayoutPlan{
+		c1: {Layout: tensor.NCHWc(8), ICBlock: 8, OCBlock: 8, RegN: 4},
+		c2: {Layout: tensor.NCHWc(4), ICBlock: 4, OCBlock: 4, RegN: 4},
+	}
+	if err := AlterOpLayout(g, plan, true); err != nil {
+		t.Fatal(err)
+	}
+	// Input transform + rechunk between c1 (8c out) and c2 (4c in) = 2.
+	if got := g.CountTransforms(); got != 2 {
+		t.Fatalf("transforms = %d, want 2", got)
+	}
+	// Matching blocks need only the input transform.
+	g2 := func() *Graph {
+		b := NewBuilder("mm2", 6)
+		x := b.Input(8, 8, 8)
+		c1 := b.Conv(x, 16, 3, 1, 1)
+		c2 := b.Conv(c1, 16, 3, 1, 1)
+		x = b.GlobalAvgPool(c2)
+		x = b.Flatten(x)
+		return b.Finish(b.Dense(x, 2))
+	}()
+	if err := AlterOpLayout(g2, UniformPlan(g2, 8, 4, true), true); err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.CountTransforms(); got != 1 {
+		t.Fatalf("uniform transforms = %d, want 1", got)
+	}
+}
+
+func TestAlterOpLayoutResidualLayout(t *testing.T) {
+	g := tinyResNet()
+	if err := Optimize(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := AlterOpLayout(g, UniformPlan(g, 8, 4, true), true); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Topo() {
+		if n.IsConv() && n.FusedResidual != nil {
+			if !n.FusedResidual.OutLayout.Equal(n.OutLayout) {
+				t.Fatalf("residual layout %v != conv output layout %v",
+					n.FusedResidual.OutLayout, n.OutLayout)
+			}
+		}
+	}
+	// Graph output must be in a default (non-blocked) layout.
+	out := g.Outputs[0]
+	if out.OutLayout.IsBlocked() {
+		t.Fatalf("graph output layout %v must not be blocked", out.OutLayout)
+	}
+}
+
+func TestAlterOpLayoutNCHWPlanAddsNoTransforms(t *testing.T) {
+	g := tinyCNN()
+	if err := Optimize(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := AlterOpLayout(g, NCHWPlan(g), true); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CountTransforms(); got != 0 {
+		t.Fatalf("NCHW plan transforms = %d, want 0", got)
+	}
+}
+
+func TestConvWorkloadFromNode(t *testing.T) {
+	g := tinyCNN()
+	conv := g.Convs()[0]
+	wl := ConvWorkload(conv)
+	want := machine.ConvWorkload{InC: 3, InH: 32, InW: 32, OutC: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	if wl != want {
+		t.Fatalf("workload = %+v, want %+v", wl, want)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := tinyCNN()
+	s := g.ComputeStats()
+	if s.Convs != 2 {
+		t.Fatalf("convs = %d", s.Convs)
+	}
+	if s.FLOPs <= 0 || s.Params <= 0 {
+		t.Fatalf("stats empty: %+v", s)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(OpReLU) != LayoutOblivious || Classify(OpConcat) != LayoutOblivious {
+		t.Fatal("relu/concat must be oblivious")
+	}
+	if Classify(OpConv2D) != LayoutTolerant || Classify(OpPool) != LayoutTolerant {
+		t.Fatal("conv/pool must be tolerant")
+	}
+	if Classify(OpFlatten) != LayoutDependent || Classify(OpSSDHead) != LayoutDependent {
+		t.Fatal("flatten/ssd must be dependent")
+	}
+}
+
+func TestConcatBlockFallback(t *testing.T) {
+	// Concat where one branch's channels are not divisible by the block
+	// must fall back to NCHW inputs.
+	b := NewBuilder("cc", 7)
+	x := b.Input(8, 8, 8)
+	c1 := b.Conv(x, 16, 3, 1, 1)
+	c2 := b.Conv(x, 12, 3, 1, 1) // 12 % 8 != 0
+	cat := b.Concat(c1, c2)
+	g := b.Finish(b.Dense(b.Flatten(b.GlobalAvgPool(cat)), 2))
+
+	plan := LayoutPlan{
+		c1: {Layout: tensor.NCHWc(8), ICBlock: 8, OCBlock: 8, RegN: 4},
+		c2: {Layout: tensor.NCHWc(4), ICBlock: 4, OCBlock: 4, RegN: 4},
+	}
+	if err := AlterOpLayout(g, plan, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Topo() {
+		if n.Op == OpConcat {
+			if n.OutLayout.Kind != tensor.LayoutNCHW {
+				t.Fatalf("concat layout = %v, want NCHW fallback", n.OutLayout)
+			}
+		}
+	}
+}
+
+func TestNHWCPlanEndToEnd(t *testing.T) {
+	g := tinyCNN()
+	if err := Optimize(g); err != nil {
+		t.Fatal(err)
+	}
+	plan := NHWCPlan(g)
+	if err := AlterOpLayout(g, plan, true); err != nil {
+		t.Fatal(err)
+	}
+	// Every conv runs channels-last; transforms appear around each conv
+	// because the tolerant neighbours run in NCHW.
+	for _, n := range g.Topo() {
+		if n.IsConv() && n.OutLayout.Kind != tensor.LayoutNHWC {
+			t.Fatalf("conv %v layout %v, want NHWC", n, n.OutLayout)
+		}
+	}
+	if got := g.CountTransforms(); got < 2 {
+		t.Fatalf("NHWC plan transforms = %d, want >= 2", got)
+	}
+}
+
+func TestEliminateDeadNodes(t *testing.T) {
+	g := tinyCNN()
+	// Attach a dangling branch that no output reaches.
+	orphan := &Node{Name: "orphan", Op: OpReLU, Inputs: []*Node{g.Input}}
+	g.AddNode(orphan)
+	orphan2 := &Node{Name: "orphan2", Op: OpReLU, Inputs: []*Node{orphan}}
+	g.AddNode(orphan2)
+	before := g.NumNodes()
+	removed := EliminateDeadNodes(g)
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	if g.NumNodes() != before-2 {
+		t.Fatalf("node count %d, want %d", g.NumNodes(), before-2)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent on a clean graph.
+	if removed := EliminateDeadNodes(g); removed != 0 {
+		t.Fatalf("second pass removed %d nodes", removed)
+	}
+}

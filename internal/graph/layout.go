@@ -1,0 +1,264 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/tensor"
+)
+
+// LayoutPlan assigns every convolution node its optimization scheme — the
+// layout (NCHW or NCHW[x]c) plus the blocking tuple (Section 3.3). Plans are
+// produced by the search packages or by the uniform helpers below.
+type LayoutPlan map[*Node]machine.ConvSchedule
+
+// NCHWPlan schedules every convolution in the default layout (Table 3's
+// baseline row).
+func NCHWPlan(g *Graph) LayoutPlan {
+	p := LayoutPlan{}
+	for _, n := range g.Convs() {
+		p[n] = machine.ConvSchedule{Layout: tensor.NCHW()}
+	}
+	return p
+}
+
+// NHWCPlan schedules every convolution channels-last, the TensorFlow default
+// (Section 3.2 lists NHWC among the layouts CONV tolerates). Surrounding
+// layout-tolerant operators run in NCHW, so each convolution pays transforms
+// on both sides — the structural behaviour of a framework whose default
+// layout disagrees with its kernels'.
+func NHWCPlan(g *Graph) LayoutPlan {
+	p := LayoutPlan{}
+	for _, n := range g.Convs() {
+		p[n] = machine.ConvSchedule{Layout: tensor.NHWC()}
+	}
+	return p
+}
+
+// UniformPlan schedules every convolution in NCHW[x]c with one shared split
+// factor (Section 3.2: "we make x a constant number across all CONVs"),
+// clamping the block to each workload's channel divisors.
+func UniformPlan(g *Graph, x, regN int, unroll bool) LayoutPlan {
+	p := LayoutPlan{}
+	for _, n := range g.Convs() {
+		wl := ConvWorkload(n)
+		icb := largestDivisorAtMost(wl.InC, x)
+		ocb := largestDivisorAtMost(wl.OutC, x)
+		p[n] = machine.ConvSchedule{
+			Layout:  tensor.NCHWc(icb),
+			ICBlock: icb, OCBlock: ocb,
+			RegN: regN, UnrollKer: unroll,
+		}
+	}
+	return p
+}
+
+// largestDivisorAtMost returns the largest divisor of n that is <= limit.
+func largestDivisorAtMost(n, limit int) int {
+	if limit > n {
+		limit = n
+	}
+	for d := limit; d >= 1; d-- {
+		if n%d == 0 {
+			return d
+		}
+	}
+	return 1
+}
+
+// AlterOpLayout assigns physical layouts through the graph and inserts
+// explicit LayoutTransform nodes exactly where required (Section 3.2,
+// Figure 2).
+//
+// With eliminate=true (NeoCPU), the blocked layout produced by a CONV flows
+// through layout-oblivious and layout-tolerant operators and into the next
+// CONV; transforms appear only at the graph input, at layout-dependent
+// operators, at block-factor mismatches between consecutive CONVs, and at
+// graph outputs.
+//
+// With eliminate=false, each CONV behaves like a kernel-library call: it
+// transforms its input from the default layout into NCHW[x]c and transforms
+// the result back immediately (Table 3 row 2, the op-level-only optimization
+// that MXNet/OpenVINO-style stacks perform inside the library).
+func AlterOpLayout(g *Graph, plan LayoutPlan, eliminate bool) error {
+	type edge struct {
+		producer *Node
+		to       tensor.Layout
+	}
+	cache := map[edge]*Node{}
+
+	// ensure returns a node producing `from`'s value in layout `to`,
+	// inserting (or reusing) a LayoutTransform.
+	ensure := func(from *Node, to tensor.Layout) *Node {
+		if from.OutLayout.Equal(to) || to.Kind == tensor.LayoutAny {
+			return from
+		}
+		key := edge{from, to}
+		if t, ok := cache[key]; ok {
+			return t
+		}
+		t := &Node{
+			Name: fmt.Sprintf("lt_%s_%v", from.Name, to), Op: OpLayoutTransform,
+			Inputs: []*Node{from}, Transform: to,
+			OutShape: from.OutShape, OutLayout: to,
+		}
+		g.AddNode(t)
+		cache[key] = t
+		return t
+	}
+
+	for _, n := range g.Topo() {
+		if n.Op == OpLayoutTransform {
+			continue // inserted by this pass; already annotated
+		}
+		switch n.Op {
+		case OpInput:
+			n.OutLayout = tensor.NCHW()
+
+		case OpConv2D:
+			sched, ok := plan[n]
+			if !ok {
+				return fmt.Errorf("graph %q: no scheme for %v", g.Name, n)
+			}
+			n.Sched = sched
+			switch sched.Layout.Kind {
+			case tensor.LayoutNCHW, tensor.LayoutNHWC:
+				n.Inputs[0] = ensure(n.Inputs[0], sched.Layout)
+				n.OutLayout = sched.Layout
+			case tensor.LayoutNCHWc:
+				inL := tensor.NCHWc(sched.ICBlock)
+				outL := tensor.NCHWc(sched.OCBlock)
+				if eliminate {
+					n.Inputs[0] = ensure(n.Inputs[0], inL)
+					n.OutLayout = outL
+				} else {
+					// Library-style: transform in from default, compute
+					// blocked, transform back out. The conv node keeps its
+					// blocked output layout; a post-transform hands NCHW to
+					// every consumer.
+					pre := ensure(ensure(n.Inputs[0], tensor.NCHW()), inL)
+					n.Inputs[0] = pre
+					n.OutLayout = outL
+					if n.FusedResidual != nil {
+						res := ensure(n.FusedResidual, outL)
+						n.FusedResidual = res
+						n.Inputs[1] = res
+					}
+					post := ensure(n, tensor.NCHW())
+					// Rewire every consumer of the conv (and the graph
+					// outputs) to read the transformed-back value.
+					for _, m := range g.nodes {
+						if m == post {
+							continue
+						}
+						for i, in := range m.Inputs {
+							if in == n {
+								m.Inputs[i] = post
+							}
+						}
+						if m.FusedResidual == n {
+							m.FusedResidual = post
+						}
+					}
+					for i, out := range g.Outputs {
+						if out == n {
+							g.Outputs[i] = post
+						}
+					}
+					continue
+				}
+			default:
+				return fmt.Errorf("graph %q: scheme layout %v unsupported", g.Name, sched.Layout)
+			}
+			if n.FusedResidual != nil {
+				res := ensure(n.FusedResidual, n.OutLayout)
+				n.FusedResidual = res
+				n.Inputs[1] = res
+			}
+
+		case OpBatchNorm, OpPool:
+			// Layout-tolerant: handle NCHW and NCHWc; keep whatever arrives,
+			// normalizing NHWC back to NCHW.
+			in := n.Inputs[0]
+			if in.OutLayout.Kind == tensor.LayoutNHWC {
+				in = ensure(in, tensor.NCHW())
+				n.Inputs[0] = in
+			}
+			n.OutLayout = in.OutLayout
+
+		case OpGlobalAvgPool:
+			// Tolerant on input; always emits NCHW (N,C,1,1).
+			in := n.Inputs[0]
+			if in.OutLayout.Kind == tensor.LayoutNHWC {
+				in = ensure(in, tensor.NCHW())
+				n.Inputs[0] = in
+			}
+			n.OutLayout = tensor.NCHW()
+
+		case OpReLU, OpDropout:
+			n.OutLayout = n.Inputs[0].OutLayout
+
+		case OpAdd:
+			// Oblivious, but operands must agree: fix the first input's
+			// layout and convert the other (Section 3.3.2).
+			want := n.Inputs[0].OutLayout
+			n.Inputs[1] = ensure(n.Inputs[1], want)
+			n.OutLayout = want
+
+		case OpConcat:
+			want := n.Inputs[0].OutLayout
+			if want.Kind == tensor.LayoutNCHWc {
+				// Blocked concat needs every operand's channel count to be a
+				// multiple of the block; otherwise fall back to NCHW.
+				for _, in := range n.Inputs {
+					if in.OutShape.C()%want.BlockC != 0 {
+						want = tensor.NCHW()
+						break
+					}
+				}
+			}
+			for i := range n.Inputs {
+				n.Inputs[i] = ensure(n.Inputs[i], want)
+			}
+			n.OutLayout = want
+
+		case OpFlatten, OpSSDHead:
+			// Layout-dependent: require the default layout on every input.
+			for i := range n.Inputs {
+				n.Inputs[i] = ensure(n.Inputs[i], tensor.NCHW())
+			}
+			if n.Op == OpFlatten {
+				n.OutLayout = tensor.Flat()
+			} else {
+				n.OutLayout = tensor.Flat()
+			}
+
+		case OpDense, OpSoftmax:
+			// Flat-only operators; producers already emit flat tensors.
+			n.OutLayout = tensor.Flat()
+
+		default:
+			return fmt.Errorf("graph %q: AlterOpLayout: unhandled op %v", g.Name, n.Op)
+		}
+	}
+
+	// The network's outputs stay in the default layout (Figure 2).
+	for i, out := range g.Outputs {
+		if out.OutLayout.Kind == tensor.LayoutNCHWc || out.OutLayout.Kind == tensor.LayoutNHWC {
+			g.Outputs[i] = ensure(out, tensor.NCHW())
+		}
+	}
+	return InferShapes(g)
+}
+
+// CountTransforms returns the number of LayoutTransform nodes reachable from
+// the outputs.
+func (g *Graph) CountTransforms() int {
+	n := 0
+	for _, node := range g.Topo() {
+		if node.Op == OpLayoutTransform {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,193 @@
+// Package graph implements the computation-graph IR of NeoCPU-Go: a DAG of
+// operator nodes (Section 2.2 of the paper), a builder API for constructing
+// CNN models, shape inference, and the graph-level optimization passes of
+// Section 3.2 — inference simplification (BatchNorm folding, dropout
+// removal), operator fusion into convolution epilogues, layout inference and
+// AlterOpLayout with explicit LayoutTransform node insertion.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// OpKind enumerates the operator vocabulary.
+type OpKind int
+
+const (
+	// OpInput is the graph's data input placeholder.
+	OpInput OpKind = iota
+	// OpConv2D is a 2D convolution; after fusion it may carry a bias,
+	// residual input and ReLU in its epilogue.
+	OpConv2D
+	// OpBatchNorm is inference-mode batch normalization; the
+	// SimplifyInference pass folds it into the preceding convolution.
+	OpBatchNorm
+	// OpReLU is the rectified linear activation.
+	OpReLU
+	// OpPool is spatial max/avg pooling.
+	OpPool
+	// OpGlobalAvgPool reduces each channel to a single value.
+	OpGlobalAvgPool
+	// OpAdd is element-wise addition (residual connections).
+	OpAdd
+	// OpConcat concatenates along the channel dimension.
+	OpConcat
+	// OpFlatten reshapes NCHW to (batch, features); layout-dependent.
+	OpFlatten
+	// OpDense is a fully-connected layer over flat inputs.
+	OpDense
+	// OpSoftmax normalizes flat logits.
+	OpSoftmax
+	// OpDropout is identity at inference time; removed by SimplifyInference.
+	OpDropout
+	// OpLayoutTransform converts between activation layouts. Inserted by
+	// AlterOpLayout; never produced by the builder.
+	OpLayoutTransform
+	// OpSSDHead is the SSD multibox head: it consumes the per-scale class
+	// and location convolution outputs (in NCHW) and produces detections.
+	// Layout-dependent.
+	OpSSDHead
+)
+
+var opNames = map[OpKind]string{
+	OpInput: "input", OpConv2D: "conv2d", OpBatchNorm: "batch_norm",
+	OpReLU: "relu", OpPool: "pool", OpGlobalAvgPool: "global_avg_pool",
+	OpAdd: "elemwise_add", OpConcat: "concat", OpFlatten: "flatten",
+	OpDense: "dense", OpSoftmax: "softmax", OpDropout: "dropout",
+	OpLayoutTransform: "layout_transform", OpSSDHead: "ssd_head",
+}
+
+func (k OpKind) String() string {
+	if s, ok := opNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// LayoutClass is the paper's three-way classification of how operations
+// interact with data layout (Section 3.2).
+type LayoutClass int
+
+const (
+	// LayoutOblivious operations process data without layout knowledge
+	// (ReLU, Softmax over flat data, Dropout, element-wise add, concat).
+	LayoutOblivious LayoutClass = iota
+	// LayoutTolerant operations need the layout but handle several
+	// (Conv2D, BatchNorm, Pooling).
+	LayoutTolerant
+	// LayoutDependent operations require one specific layout
+	// (Flatten, Dense, SSDHead, LayoutTransform itself).
+	LayoutDependent
+)
+
+// Classify returns the layout class of an operator kind.
+func Classify(k OpKind) LayoutClass {
+	switch k {
+	case OpReLU, OpDropout, OpAdd, OpConcat, OpSoftmax:
+		return LayoutOblivious
+	case OpConv2D, OpBatchNorm, OpPool, OpGlobalAvgPool, OpInput:
+		return LayoutTolerant
+	default:
+		return LayoutDependent
+	}
+}
+
+// SSDHeadAttrs configures an OpSSDHead node. The node's inputs are ordered
+// [cls_0, loc_0, cls_1, loc_1, ...] — one class-score and one box-offset
+// convolution output per feature-map scale.
+type SSDHeadAttrs struct {
+	// NumClasses excludes background.
+	NumClasses int
+	// Anchors per scale: sizes/ratios per the SSD convention.
+	Sizes  [][]float32
+	Ratios [][]float32
+	// Detection decoding/NMS settings.
+	Detection ops.MultiBoxDetectionAttrs
+}
+
+// Shape is a logical tensor shape, independent of physical layout. Rank 4
+// shapes are (N, C, H, W); rank 2 are (N, Features).
+type Shape struct {
+	Dims []int
+}
+
+// Volume returns the element count.
+func (s Shape) Volume() int {
+	v := 1
+	for _, d := range s.Dims {
+		v *= d
+	}
+	return v
+}
+
+// C returns the channel dimension of a rank-4 shape.
+func (s Shape) C() int { return s.Dims[1] }
+
+// Equal reports dimension-wise equality.
+func (s Shape) Equal(o Shape) bool {
+	if len(s.Dims) != len(o.Dims) {
+		return false
+	}
+	for i := range s.Dims {
+		if s.Dims[i] != o.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Shape) String() string { return fmt.Sprintf("%v", s.Dims) }
+
+// Node is one operation in the computation graph.
+type Node struct {
+	// ID is unique within the graph and stable across passes.
+	ID int
+	// Name is a human-readable identifier (layer name).
+	Name string
+	// Op is the operator kind.
+	Op OpKind
+	// Inputs are the producing nodes, in operator-specific order.
+	Inputs []*Node
+
+	// Operator attributes; only the field matching Op is meaningful.
+	Conv      ops.Conv2DAttrs
+	Pool      ops.PoolAttrs
+	BN        ops.BatchNormParams
+	DenseOut  int
+	SSD       *SSDHeadAttrs
+	Transform tensor.Layout // OpLayoutTransform target layout
+
+	// Weight is the OIHW convolution weight or (out,in) dense weight.
+	Weight *tensor.Tensor
+	// Bias is the per-output-channel bias (possibly created by BN folding).
+	Bias []float32
+
+	// Fusion annotations, set by the FuseOps pass (conv only).
+	FusedReLU bool
+	// FusedResidual, if non-nil, is the extra input whose value is added in
+	// the convolution epilogue. It is also present in Inputs (index 1).
+	FusedResidual *Node
+
+	// OutShape is the logical output shape, filled by InferShapes. For
+	// OpSSDHead it is (1, maxDetections, 6) nominally.
+	OutShape Shape
+
+	// OutLayout is the physical output layout, assigned by AlterOpLayout.
+	OutLayout tensor.Layout
+
+	// Sched is the convolution's optimization scheme (layout + blocking
+	// tuple), assigned by AlterOpLayout from the layout plan. Meaningful for
+	// OpConv2D only; the zero value means plain NCHW execution.
+	Sched machine.ConvSchedule
+}
+
+func (n *Node) String() string {
+	return fmt.Sprintf("#%d %s(%s)", n.ID, n.Name, n.Op)
+}
+
+// IsConv reports whether the node is a convolution.
+func (n *Node) IsConv() bool { return n.Op == OpConv2D }

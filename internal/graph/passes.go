@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/ops"
+)
+
+// This file implements the generic graph-level optimizations the paper
+// inherits from the TVM stack (Section 3): inference simplification and
+// operator fusion. The layout passes live in layout.go.
+
+// SimplifyInference removes inference-time no-ops and folds BatchNorm into
+// the preceding convolution:
+//
+//   - Dropout nodes become identity and are removed.
+//   - A BatchNorm whose sole producer is a convolution consumed only by the
+//     BatchNorm is folded into the convolution's weight and bias
+//     (pre-computation at compile time); other BatchNorms are kept as
+//     runtime scale/shift operators.
+func SimplifyInference(g *Graph) error {
+	if err := RemoveDropout(g); err != nil {
+		return err
+	}
+	return FoldBatchNorms(g)
+}
+
+// RemoveDropout deletes inference-time identity Dropout nodes.
+func RemoveDropout(g *Graph) error {
+	dead := map[*Node]bool{}
+	for _, n := range g.Topo() {
+		if n.Op == OpDropout {
+			g.replaceInput(n, n.Inputs[0])
+			dead[n] = true
+		}
+	}
+	g.removeNodes(dead)
+	return InferShapes(g)
+}
+
+// FoldBatchNorms folds each BatchNorm whose sole producer is an
+// exclusively-consumed convolution into that convolution's weight and bias.
+// Engine simulators skip this pass to model frameworks that execute
+// BatchNorm as a standalone operator.
+func FoldBatchNorms(g *Graph) error {
+	dead := map[*Node]bool{}
+	cons := g.Consumers()
+	for _, n := range g.Topo() {
+		if n.Op != OpBatchNorm {
+			continue
+		}
+		conv := n.Inputs[0]
+		if !conv.IsConv() || len(cons[conv]) != 1 {
+			continue
+		}
+		w, b := ops.FoldBatchNorm(conv.Weight, conv.Bias, n.BN)
+		conv.Weight, conv.Bias = w, b
+		g.replaceInput(n, conv)
+		dead[n] = true
+	}
+	g.removeNodes(dead)
+	return InferShapes(g)
+}
+
+// FuseOps fuses memory-bound successors into convolution epilogues to raise
+// arithmetic intensity (Section 2.2): conv→relu, conv→add→relu and
+// conv→add patterns collapse into the convolution node. The residual operand
+// becomes the convolution's second input.
+func FuseOps(g *Graph) error {
+	changed := true
+	for changed {
+		changed = false
+		cons := g.Consumers()
+		dead := map[*Node]bool{}
+		for _, n := range g.Topo() {
+			switch n.Op {
+			case OpAdd:
+				// Fuse the add into whichever operand is a convolution whose
+				// only consumer is this add and which has no residual yet.
+				var conv, other *Node
+				for i, c := range []*Node{n.Inputs[0], n.Inputs[1]} {
+					if c.IsConv() && len(cons[c]) == 1 && c.FusedResidual == nil && !c.FusedReLU {
+						conv, other = c, n.Inputs[1-i]
+						break
+					}
+				}
+				if conv == nil || other == conv {
+					continue
+				}
+				conv.FusedResidual = other
+				conv.Inputs = append(conv.Inputs, other)
+				g.replaceInput(n, conv)
+				dead[n] = true
+				changed = true
+			case OpReLU:
+				c := n.Inputs[0]
+				if c.IsConv() && len(cons[c]) == 1 && !c.FusedReLU {
+					c.FusedReLU = true
+					g.replaceInput(n, c)
+					dead[n] = true
+					changed = true
+				}
+			}
+			if changed {
+				break // consumer map is stale; restart the scan
+			}
+		}
+		g.removeNodes(dead)
+	}
+	return InferShapes(g)
+}
+
+// Optimize runs the standard pre-layout pass pipeline.
+func Optimize(g *Graph) error {
+	if err := SimplifyInference(g); err != nil {
+		return fmt.Errorf("simplify inference: %w", err)
+	}
+	if err := FuseOps(g); err != nil {
+		return fmt.Errorf("fuse ops: %w", err)
+	}
+	return nil
+}

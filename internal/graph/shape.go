@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"fmt"
+)
+
+// InferShapes fills every node's OutShape in topological order. It returns
+// an error on inconsistent operator wiring (channel mismatches, rank
+// mismatches, concat spatial mismatches).
+func InferShapes(g *Graph) error {
+	for _, n := range g.Topo() {
+		s, err := inferNode(n)
+		if err != nil {
+			return fmt.Errorf("graph %q: %v: %w", g.Name, n, err)
+		}
+		n.OutShape = s
+	}
+	return nil
+}
+
+func inferNode(n *Node) (Shape, error) {
+	in := func(i int) Shape { return n.Inputs[i].OutShape }
+	switch n.Op {
+	case OpInput:
+		return n.OutShape, nil // set by the builder
+	case OpConv2D:
+		s := in(0)
+		if len(s.Dims) != 4 {
+			return Shape{}, fmt.Errorf("conv input rank %d", len(s.Dims))
+		}
+		if n.Weight == nil {
+			return Shape{}, fmt.Errorf("conv without weight")
+		}
+		if n.Weight.Shape[1] != s.Dims[1] {
+			return Shape{}, fmt.Errorf("conv weight in-channels %d != input channels %d", n.Weight.Shape[1], s.Dims[1])
+		}
+		oh, ow := n.Conv.OutSize(s.Dims[2], s.Dims[3])
+		if oh <= 0 || ow <= 0 {
+			return Shape{}, fmt.Errorf("conv output %dx%d not positive", oh, ow)
+		}
+		out := Shape{Dims: []int{s.Dims[0], n.Conv.OutC, oh, ow}}
+		if n.FusedResidual != nil && !n.FusedResidual.OutShape.Equal(out) {
+			return Shape{}, fmt.Errorf("fused residual shape %v != conv output %v", n.FusedResidual.OutShape, out)
+		}
+		return out, nil
+	case OpBatchNorm:
+		s := in(0)
+		if len(s.Dims) != 4 {
+			return Shape{}, fmt.Errorf("batch_norm input rank %d", len(s.Dims))
+		}
+		if n.BN.Channels() != s.Dims[1] {
+			return Shape{}, fmt.Errorf("batch_norm channels %d != input %d", n.BN.Channels(), s.Dims[1])
+		}
+		return s, nil
+	case OpReLU, OpDropout:
+		return in(0), nil
+	case OpPool:
+		s := in(0)
+		if len(s.Dims) != 4 {
+			return Shape{}, fmt.Errorf("pool input rank %d", len(s.Dims))
+		}
+		oh, ow := n.Pool.OutSize(s.Dims[2], s.Dims[3])
+		if oh <= 0 || ow <= 0 {
+			return Shape{}, fmt.Errorf("pool output %dx%d not positive", oh, ow)
+		}
+		return Shape{Dims: []int{s.Dims[0], s.Dims[1], oh, ow}}, nil
+	case OpGlobalAvgPool:
+		s := in(0)
+		if len(s.Dims) != 4 {
+			return Shape{}, fmt.Errorf("global pool input rank %d", len(s.Dims))
+		}
+		return Shape{Dims: []int{s.Dims[0], s.Dims[1], 1, 1}}, nil
+	case OpAdd:
+		a, b := in(0), in(1)
+		if !a.Equal(b) {
+			return Shape{}, fmt.Errorf("add shape mismatch %v vs %v", a, b)
+		}
+		return a, nil
+	case OpConcat:
+		base := in(0)
+		if len(base.Dims) != 4 {
+			return Shape{}, fmt.Errorf("concat input rank %d", len(base.Dims))
+		}
+		c := 0
+		for i := range n.Inputs {
+			s := in(i)
+			if s.Dims[0] != base.Dims[0] || s.Dims[2] != base.Dims[2] || s.Dims[3] != base.Dims[3] {
+				return Shape{}, fmt.Errorf("concat spatial mismatch %v vs %v", base, s)
+			}
+			c += s.Dims[1]
+		}
+		return Shape{Dims: []int{base.Dims[0], c, base.Dims[2], base.Dims[3]}}, nil
+	case OpFlatten:
+		s := in(0)
+		return Shape{Dims: []int{s.Dims[0], s.Volume() / s.Dims[0]}}, nil
+	case OpDense:
+		s := in(0)
+		if len(s.Dims) != 2 {
+			return Shape{}, fmt.Errorf("dense input rank %d", len(s.Dims))
+		}
+		if n.Weight == nil || n.Weight.Shape[1] != s.Dims[1] {
+			return Shape{}, fmt.Errorf("dense weight mismatch")
+		}
+		return Shape{Dims: []int{s.Dims[0], n.DenseOut}}, nil
+	case OpSoftmax:
+		s := in(0)
+		if len(s.Dims) != 2 {
+			return Shape{}, fmt.Errorf("softmax input rank %d", len(s.Dims))
+		}
+		return s, nil
+	case OpLayoutTransform:
+		return in(0), nil // logical shape unchanged
+	case OpSSDHead:
+		if len(n.Inputs)%2 != 0 || len(n.Inputs) == 0 {
+			return Shape{}, fmt.Errorf("ssd_head needs (cls, loc) input pairs, got %d inputs", len(n.Inputs))
+		}
+		anchors := 0
+		for i := 0; i < len(n.Inputs); i += 2 {
+			cls, loc := in(i), in(i+1)
+			per := len(n.SSD.Sizes[i/2]) + len(n.SSD.Ratios[i/2]) - 1
+			wantCls := per * (n.SSD.NumClasses + 1)
+			wantLoc := per * 4
+			if cls.Dims[1] != wantCls {
+				return Shape{}, fmt.Errorf("ssd scale %d: cls channels %d, want %d", i/2, cls.Dims[1], wantCls)
+			}
+			if loc.Dims[1] != wantLoc {
+				return Shape{}, fmt.Errorf("ssd scale %d: loc channels %d, want %d", i/2, loc.Dims[1], wantLoc)
+			}
+			if cls.Dims[2] != loc.Dims[2] || cls.Dims[3] != loc.Dims[3] {
+				return Shape{}, fmt.Errorf("ssd scale %d: cls/loc spatial mismatch", i/2)
+			}
+			anchors += per * cls.Dims[2] * cls.Dims[3]
+		}
+		return Shape{Dims: []int{1, anchors, 6}}, nil
+	}
+	return Shape{}, fmt.Errorf("unknown op kind %v", n.Op)
+}

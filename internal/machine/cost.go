@@ -1,0 +1,384 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ConvWorkload identifies a convolution workload the way the paper's schedule
+// database does: by feature-map and kernel geometry (Section 3.3.1). Batch
+// size is always 1 for latency experiments (Section 4).
+type ConvWorkload struct {
+	InC, InH, InW    int // input channels and spatial size
+	OutC, KH, KW     int // kernels
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutH returns the output feature-map height.
+func (w ConvWorkload) OutH() int { return (w.InH+2*w.PadH-w.KH)/w.StrideH + 1 }
+
+// OutW returns the output feature-map width.
+func (w ConvWorkload) OutW() int { return (w.InW+2*w.PadW-w.KW)/w.StrideW + 1 }
+
+// FLOPs returns the floating-point operation count (multiply and add counted
+// separately) of a direct convolution.
+func (w ConvWorkload) FLOPs() float64 {
+	return 2 * float64(w.OutH()) * float64(w.OutW()) * float64(w.OutC) *
+		float64(w.InC) * float64(w.KH) * float64(w.KW)
+}
+
+// Bytes returns the minimum bytes touched: input + weights + output, fp32.
+func (w ConvWorkload) Bytes() float64 {
+	in := float64(w.InC * w.InH * w.InW * 4)
+	wt := float64(w.OutC * w.InC * w.KH * w.KW * 4)
+	out := float64(w.OutC*w.OutH()*w.OutW()) * 4
+	return in + wt + out
+}
+
+// Key returns the database key for this workload (Section 3.3.1: "defined by
+// the feature map and convolution kernel sizes").
+func (w ConvWorkload) Key() string {
+	return fmt.Sprintf("c%dx%dx%d-k%dx%dx%d-s%dx%d-p%dx%d",
+		w.InC, w.InH, w.InW, w.OutC, w.KH, w.KW, w.StrideH, w.StrideW, w.PadH, w.PadW)
+}
+
+// ConvSchedule is the optimization-scheme tuple of Section 3.3:
+// (ic_bn, oc_bn, reg_n, unroll_ker), plus the data layout the convolution
+// executes in. For NCHW/NHWC layouts the blocking fields are ignored.
+type ConvSchedule struct {
+	Layout    tensor.Layout // activation layout (NCHW, NHWC or NCHWc)
+	ICBlock   int           // ic_bn: input-channel split factor x
+	OCBlock   int           // oc_bn: output-channel split factor y
+	RegN      int           // reg_n: register-blocking width along out_width
+	UnrollKer bool          // unroll_ker: unroll the kernel-entry loop
+}
+
+func (s ConvSchedule) String() string {
+	if s.Layout.Kind != tensor.LayoutNCHWc {
+		return fmt.Sprintf("{%v}", s.Layout)
+	}
+	return fmt.Sprintf("{ic_bn=%d oc_bn=%d reg_n=%d unroll=%v}", s.ICBlock, s.OCBlock, s.RegN, s.UnrollKer)
+}
+
+// Cost-model tuning constants. These are calibrated once against the paper's
+// hardware (see machine calibration tests) and shared by every experiment;
+// they are not fit per-model.
+const (
+	// peakFractionDirect is the fraction of peak FLOPS a perfectly scheduled
+	// direct convolution reaches (cache misses, prologue/epilogue, address
+	// arithmetic keep it below 1).
+	peakFractionDirect = 0.52
+	// layoutFactorNCHW is the relative kernel efficiency of a plain NCHW
+	// direct convolution: the innermost width dimension is vectorizable but
+	// accumulating across in-channels walks large strides, defeating both
+	// the FMA pipeline and the cache (Section 4.2.1 measures 4-8x).
+	layoutFactorNCHW = 0.135
+	// layoutFactorNHWC is the relative efficiency of channels-last direct
+	// convolution: unit-stride channel access vectorizes, but per-pixel
+	// weight reuse is poor without blocking.
+	layoutFactorNHWC = 0.24
+	// bwEfficiency is the achievable fraction of peak memory bandwidth for
+	// streaming layout transforms and element-wise operators.
+	bwEfficiency = 0.65
+	// spillPenalty is the throughput factor once the schedule needs more
+	// accumulators than architectural vector registers.
+	spillPenalty = 0.42
+)
+
+// RegionOverhead returns the fork-join cost in seconds of launching one
+// parallel region on the given backend with n worker threads. The custom
+// thread pool hands tasks over SPSC lock-free queues and spin-joins; the
+// OpenMP-style runtime wakes and suppresses its team through a central
+// barrier, which costs more and grows faster with the team size
+// (Section 4.2.4).
+func RegionOverhead(backend ThreadBackend, threads int) float64 {
+	if threads <= 1 {
+		return 0
+	}
+	switch backend {
+	case BackendPool:
+		return 0.4e-6 + 0.03e-6*float64(threads)
+	case BackendOMP:
+		return 2.6e-6 + 0.34e-6*float64(threads)
+	default:
+		return 0
+	}
+}
+
+// parallelUnits returns the number of independent work items a convolution
+// exposes to the thread pool: the outermost OFMAP chunks of Algorithm 1.
+func parallelUnits(wl ConvWorkload, s ConvSchedule) int {
+	oc := wl.OutC
+	ocb := s.OCBlock
+	if s.Layout.Kind != tensor.LayoutNCHWc || ocb <= 0 {
+		ocb = 1
+	}
+	units := (oc / ocb) * wl.OutH()
+	if units < 1 {
+		units = 1
+	}
+	return units
+}
+
+// ParallelEfficiency returns the fraction of linear speedup achievable when
+// distributing `units` equal work items over `threads` threads: the load
+// imbalance of static partitioning plus a per-thread coherence/bandwidth
+// friction term.
+func (t *Target) ParallelEfficiency(units, threads int) float64 {
+	if threads <= 1 {
+		return 1
+	}
+	if threads > t.Cores {
+		threads = t.Cores
+	}
+	chunks := (units + threads - 1) / threads
+	imbalance := float64(units) / float64(chunks*threads)
+	friction := 1 / (1 + 0.009*float64(threads-1))
+	return imbalance * friction
+}
+
+// ConvEfficiency predicts the fraction of peak FLOPS a single-threaded
+// direct convolution achieves under the given schedule. It encodes the
+// schedule-quality criteria of Section 3.1.1:
+//
+//   - full vector lanes: oc_bn should be a multiple of the vector width;
+//   - FMA latency hiding: reg_n accumulators must cover latency*throughput;
+//   - no register spills: reg_n+2 registers must fit the register file;
+//   - cache residence: the inner working set should fit L1 (or at least L2);
+//   - tail waste: out_width should divide evenly by reg_n;
+//   - unroll_ker helps small kernels and hurts very large unrolled bodies.
+func (t *Target) ConvEfficiency(wl ConvWorkload, s ConvSchedule) float64 {
+	switch s.Layout.Kind {
+	case tensor.LayoutNCHW:
+		return peakFractionDirect * layoutFactorNCHW
+	case tensor.LayoutNHWC:
+		return peakFractionDirect * layoutFactorNHWC
+	case tensor.LayoutNCHWc:
+		// fall through to the blocked model below
+	default:
+		return peakFractionDirect * layoutFactorNCHW
+	}
+
+	// Vector lane utilization: the oc_bn sub-channels are what the kernel
+	// broadcasts into lanes (Figure 1).
+	lanes := t.VectorLanes
+	var laneUtil float64
+	switch {
+	case s.OCBlock%lanes == 0:
+		laneUtil = 1
+	case s.OCBlock > lanes:
+		// Full vectors plus a partial tail vector.
+		full := s.OCBlock / lanes
+		laneUtil = float64(s.OCBlock) / float64((full+1)*lanes)
+	default:
+		laneUtil = float64(s.OCBlock) / float64(lanes)
+	}
+
+	// FMA latency hiding: with fewer than latency*issue accumulators in
+	// flight the FMA pipeline stalls proportionally.
+	need := t.FMALatency * t.FMAPerCycle
+	latHide := float64(s.RegN) / float64(need)
+	if latHide > 1 {
+		latHide = 1
+	}
+	if latHide < 0.2 {
+		latHide = 0.2
+	}
+
+	// Register pressure: reg_n accumulators + 1 kernel vector + 1 input
+	// broadcast (Algorithm 1 lines 10-17).
+	pressure := 1.0
+	if s.RegN+2 > t.NumVecRegs {
+		pressure = spillPenalty
+	}
+
+	// Tail waste along out_width.
+	ow := wl.OutW()
+	tiles := (ow + s.RegN - 1) / s.RegN
+	tail := float64(ow) / float64(tiles*s.RegN)
+
+	// Cache residence of the inner block: one weight slab
+	// (ic_bn*KH*KW*oc_bn), reg_n input positions and reg_n*oc_bn outputs.
+	ws := 4 * (s.ICBlock*wl.KH*wl.KW*s.OCBlock +
+		s.ICBlock*(s.RegN*wl.StrideW+wl.KW) +
+		s.RegN*s.OCBlock)
+	var cacheF float64
+	switch {
+	case ws <= t.L1DKB*1024:
+		cacheF = 1
+	case ws <= t.L2KB*1024:
+		cacheF = 0.86
+	default:
+		cacheF = 0.58
+	}
+
+	// Very small channel blocks underuse the FMA broadcast operand.
+	chanF := 1.0
+	if s.ICBlock < 4 {
+		chanF = 0.82
+	}
+
+	// unroll_ker reduces branch penalties for small kernel loops but bloats
+	// the instruction stream for large ones (Section 3.3.1).
+	unrollF := 1.0
+	if s.UnrollKer {
+		if wl.KH*wl.KW <= 9 {
+			unrollF = 1.05
+		} else {
+			unrollF = 0.95
+		}
+	}
+
+	return peakFractionDirect * laneUtil * latHide * pressure * tail * cacheF * chanF * unrollF
+}
+
+// ConvTime predicts the wall-clock seconds of one convolution under the
+// given schedule, thread count and threading backend. kernelQuality scales
+// the single-thread efficiency and models how well an engine's kernels are
+// tuned for this target (1.0 = NeoCPU's searched template; vendor libraries
+// pass <1 on foreign architectures).
+func (t *Target) ConvTime(wl ConvWorkload, s ConvSchedule, threads int, backend ThreadBackend, kernelQuality float64) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > t.Cores {
+		threads = t.Cores
+	}
+	eff := t.ConvEfficiency(wl, s) * kernelQuality
+	if eff <= 0 {
+		eff = 1e-4
+	}
+	flops := wl.FLOPs()
+	compute := flops / (t.PeakCoreGFLOPS() * 1e9 * eff)
+
+	units := parallelUnits(wl, s)
+	pe := t.ParallelEfficiency(units, threads)
+	par := compute / (float64(threads) * pe)
+
+	// Memory floor: a convolution can never run faster than streaming its
+	// operands once.
+	floor := wl.Bytes() / (t.MemBWGBs * 1e9 * bwEfficiency)
+	if par < floor {
+		par = floor
+	}
+	return par + RegionOverhead(backend, threads)
+}
+
+// TransformTime predicts the seconds to execute a layout transformation over
+// `elems` fp32 elements. Transforms are bandwidth-bound gather/scatter loops
+// with imperfect streaming, so they cost more per byte than a pure copy.
+func (t *Target) TransformTime(elems int, threads int, backend ThreadBackend) float64 {
+	if elems <= 0 {
+		return 0
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > t.Cores {
+		threads = t.Cores
+	}
+	bytes := float64(elems) * 4 * 2 // read + write
+	// Strided access achieves a fraction of streaming bandwidth; extra
+	// threads help until the bus saturates (~4 threads).
+	effThreads := float64(threads)
+	if effThreads > 4 {
+		effThreads = 4
+	}
+	bw := t.MemBWGBs * 1e9 * bwEfficiency * (0.35 + 0.1625*effThreads)
+	return bytes/bw + RegionOverhead(backend, threads)
+}
+
+// EltwiseTime predicts the seconds for a memory-bound element-wise operator
+// (ReLU, BatchNorm at inference, element-wise add, bias add) touching the
+// given number of bytes (all operands, read plus write).
+func (t *Target) EltwiseTime(bytes float64, threads int, backend ThreadBackend) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > t.Cores {
+		threads = t.Cores
+	}
+	effThreads := float64(threads)
+	if effThreads > 6 {
+		effThreads = 6
+	}
+	bw := t.MemBWGBs * 1e9 * bwEfficiency * (0.3 + 0.1167*effThreads)
+	return bytes/bw + RegionOverhead(backend, threads)
+}
+
+// PoolTime predicts the seconds for a pooling operator with the given window
+// over `outBytes` of output; pooling re-reads each input window.
+func (t *Target) PoolTime(inBytes, outBytes float64, window int, threads int, backend ThreadBackend) float64 {
+	return t.EltwiseTime(inBytes*float64(window)/2+outBytes, threads, backend)
+}
+
+// Int8Factor returns the throughput multiplier of int8 convolution kernels
+// over fp32 on this ISA: AVX-512BW chains vpmaddubsw/vpmaddwd for roughly 2x
+// MAC throughput (pre-VNNI Skylake), AVX2 similarly via pmaddubsw, while the
+// Cortex-A72 lacks the sdot instruction and gains less from widening int8
+// arithmetic.
+func (t *Target) Int8Factor() float64 {
+	if t.Int8Throughput > 0 {
+		return t.Int8Throughput
+	}
+	switch t.ISA {
+	case AVX512:
+		return 2.0
+	case AVX2:
+		return 1.8
+	default: // NEON on A72: no sdot
+		return 1.4
+	}
+}
+
+// Int8ConvTime predicts the seconds of a quantized int8 convolution under
+// the given schedule: the fp32 prediction divided by the ISA's int8
+// throughput factor, with the memory floor shrunk by the 4x smaller
+// operands.
+func (t *Target) Int8ConvTime(wl ConvWorkload, s ConvSchedule, threads int, backend ThreadBackend, kernelQuality float64) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > t.Cores {
+		threads = t.Cores
+	}
+	eff := t.ConvEfficiency(wl, s) * kernelQuality * t.Int8Factor()
+	if eff <= 0 {
+		eff = 1e-4
+	}
+	compute := wl.FLOPs() / (t.PeakCoreGFLOPS() * 1e9 * eff)
+	pe := t.ParallelEfficiency(parallelUnits(wl, s), threads)
+	par := compute / (float64(threads) * pe)
+	floor := (wl.Bytes() / 4) / (t.MemBWGBs * 1e9 * bwEfficiency)
+	if par < floor {
+		par = floor
+	}
+	return par + RegionOverhead(backend, threads)
+}
+
+// DenseTime predicts the seconds for a fully-connected layer mapping `in`
+// features to `out` features at batch 1. A batch-1 GEMV is memory-bound on
+// the weight matrix.
+func (t *Target) DenseTime(in, out int, threads int, backend ThreadBackend, kernelQuality float64) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > t.Cores {
+		threads = t.Cores
+	}
+	flops := 2 * float64(in) * float64(out)
+	compute := flops / (t.PeakCoreGFLOPS() * 1e9 * 0.35 * kernelQuality)
+	pe := t.ParallelEfficiency(out, threads)
+	par := compute / (float64(threads) * pe)
+	bytes := 4 * float64(in) * float64(out)
+	floor := bytes / (t.MemBWGBs * 1e9 * 0.8)
+	if par < floor {
+		par = floor
+	}
+	return par + RegionOverhead(backend, threads)
+}

@@ -1,0 +1,61 @@
+package models
+
+import "repro/internal/graph"
+
+// DenseNet (Huang et al., CVPR 2017): dense blocks in which every layer's
+// output is concatenated onto the running feature map — the concat-heavy
+// structure that stresses the layout flow (blocked concat requires every
+// operand's channels to divide the block) and the global search.
+
+func init() {
+	for _, m := range []struct {
+		name, display string
+		growth, init  int
+		blocks        [4]int
+	}{
+		{"densenet-121", "DenseNet-121", 32, 64, [4]int{6, 12, 24, 16}},
+		{"densenet-161", "DenseNet-161", 48, 96, [4]int{6, 12, 36, 24}},
+		{"densenet-169", "DenseNet-169", 32, 64, [4]int{6, 12, 32, 32}},
+		{"densenet-201", "DenseNet-201", 32, 64, [4]int{6, 12, 48, 32}},
+	} {
+		m := m
+		register(&Spec{
+			Name: m.name, Display: m.display,
+			InputC: 3, InputH: 224, InputW: 224,
+			build: func(b *graph.Builder) *graph.Graph {
+				return buildDenseNet(b, m.growth, m.init, m.blocks, 1000)
+			},
+		})
+	}
+}
+
+// denseLayer is the bottleneck layer: 1x1 conv to 4*growth, 3x3 conv to
+// growth channels; the result is concatenated onto the block's features.
+func denseLayer(b *graph.Builder, x *graph.Node, growth int) *graph.Node {
+	y := b.ConvBNReLU(x, 4*growth, 1, 1, 0)
+	return b.ConvBNReLU(y, growth, 3, 1, 1)
+}
+
+func buildDenseNet(b *graph.Builder, growth, initC int, blocks [4]int, classes int) *graph.Graph {
+	x := b.Input(3, 224, 224)
+	x = b.ConvBNReLU(x, initC, 7, 2, 3)
+	x = b.MaxPool(x, 3, 2, 1)
+	channels := initC
+	for stage := 0; stage < 4; stage++ {
+		for l := 0; l < blocks[stage]; l++ {
+			y := denseLayer(b, x, growth)
+			x = b.Concat(x, y)
+			channels += growth
+		}
+		if stage < 3 {
+			// Transition: halve channels with a 1x1 conv, halve resolution.
+			channels /= 2
+			x = b.ConvBNReLU(x, channels, 1, 1, 0)
+			x = b.AvgPool(x, 2, 2, 0)
+		}
+	}
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, classes)
+	return b.Finish(b.Softmax(x))
+}

@@ -1,0 +1,116 @@
+package models
+
+import "repro/internal/graph"
+
+// Inception-v3 (Szegedy et al., CVPR 2016): the 299x299 multi-branch
+// architecture with factorized 1x7/7x1 convolutions. Branch-and-concat
+// modules exercise the layout ties between sibling convolutions.
+
+func init() {
+	register(&Spec{
+		Name: "inception-v3", Display: "Inception-v3",
+		InputC: 3, InputH: 299, InputW: 299,
+		build: buildInceptionV3,
+	})
+}
+
+func buildInceptionV3(b *graph.Builder) *graph.Graph {
+	x := b.Input(3, 299, 299)
+	// Stem: 299 -> 149 -> 147 -> 147 -> 73 -> 71 -> 35.
+	x = b.ConvBNReLU(x, 32, 3, 2, 0)
+	x = b.ConvBNReLU(x, 32, 3, 1, 0)
+	x = b.ConvBNReLU(x, 64, 3, 1, 1)
+	x = b.MaxPool(x, 3, 2, 0)
+	x = b.ConvBNReLU(x, 80, 1, 1, 0)
+	x = b.ConvBNReLU(x, 192, 3, 1, 0)
+	x = b.MaxPool(x, 3, 2, 0)
+
+	// 3x InceptionA at 35x35.
+	for _, poolF := range []int{32, 64, 64} {
+		x = inceptionA(b, x, poolF)
+	}
+	// Grid reduction to 17x17.
+	x = inceptionB(b, x)
+	// 4x InceptionC with growing 7x7 widths.
+	for _, c7 := range []int{128, 160, 160, 192} {
+		x = inceptionC(b, x, c7)
+	}
+	// Grid reduction to 8x8.
+	x = inceptionD(b, x)
+	// 2x InceptionE at 8x8.
+	x = inceptionE(b, x)
+	x = inceptionE(b, x)
+
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dropout(x)
+	x = b.Dense(x, 1000)
+	return b.Finish(b.Softmax(x))
+}
+
+// convBNReLURect is the rectangular-kernel variant of ConvBNReLU used by the
+// factorized 1x7/7x1 branches.
+func convBNReLURect(b *graph.Builder, x *graph.Node, outC, kh, kw, ph, pw int) *graph.Node {
+	return b.ReLU(b.BatchNorm(b.ConvRect(x, outC, kh, kw, 1, 1, ph, pw)))
+}
+
+func inceptionA(b *graph.Builder, x *graph.Node, poolFeatures int) *graph.Node {
+	b1 := b.ConvBNReLU(x, 64, 1, 1, 0)
+	b5 := b.ConvBNReLU(x, 48, 1, 1, 0)
+	b5 = b.ConvBNReLU(b5, 64, 5, 1, 2)
+	b3 := b.ConvBNReLU(x, 64, 1, 1, 0)
+	b3 = b.ConvBNReLU(b3, 96, 3, 1, 1)
+	b3 = b.ConvBNReLU(b3, 96, 3, 1, 1)
+	bp := b.AvgPool(x, 3, 1, 1)
+	bp = b.ConvBNReLU(bp, poolFeatures, 1, 1, 0)
+	return b.Concat(b1, b5, b3, bp)
+}
+
+func inceptionB(b *graph.Builder, x *graph.Node) *graph.Node {
+	b3 := b.ConvBNReLU(x, 384, 3, 2, 0)
+	bd := b.ConvBNReLU(x, 64, 1, 1, 0)
+	bd = b.ConvBNReLU(bd, 96, 3, 1, 1)
+	bd = b.ConvBNReLU(bd, 96, 3, 2, 0)
+	bp := b.MaxPool(x, 3, 2, 0)
+	return b.Concat(b3, bd, bp)
+}
+
+func inceptionC(b *graph.Builder, x *graph.Node, c7 int) *graph.Node {
+	b1 := b.ConvBNReLU(x, 192, 1, 1, 0)
+	b7 := b.ConvBNReLU(x, c7, 1, 1, 0)
+	b7 = convBNReLURect(b, b7, c7, 1, 7, 0, 3)
+	b7 = convBNReLURect(b, b7, 192, 7, 1, 3, 0)
+	bd := b.ConvBNReLU(x, c7, 1, 1, 0)
+	bd = convBNReLURect(b, bd, c7, 7, 1, 3, 0)
+	bd = convBNReLURect(b, bd, c7, 1, 7, 0, 3)
+	bd = convBNReLURect(b, bd, c7, 7, 1, 3, 0)
+	bd = convBNReLURect(b, bd, 192, 1, 7, 0, 3)
+	bp := b.AvgPool(x, 3, 1, 1)
+	bp = b.ConvBNReLU(bp, 192, 1, 1, 0)
+	return b.Concat(b1, b7, bd, bp)
+}
+
+func inceptionD(b *graph.Builder, x *graph.Node) *graph.Node {
+	b3 := b.ConvBNReLU(x, 192, 1, 1, 0)
+	b3 = b.ConvBNReLU(b3, 320, 3, 2, 0)
+	b7 := b.ConvBNReLU(x, 192, 1, 1, 0)
+	b7 = convBNReLURect(b, b7, 192, 1, 7, 0, 3)
+	b7 = convBNReLURect(b, b7, 192, 7, 1, 3, 0)
+	b7 = b.ConvBNReLU(b7, 192, 3, 2, 0)
+	bp := b.MaxPool(x, 3, 2, 0)
+	return b.Concat(b3, b7, bp)
+}
+
+func inceptionE(b *graph.Builder, x *graph.Node) *graph.Node {
+	b1 := b.ConvBNReLU(x, 320, 1, 1, 0)
+	b3 := b.ConvBNReLU(x, 384, 1, 1, 0)
+	b3a := convBNReLURect(b, b3, 384, 1, 3, 0, 1)
+	b3b := convBNReLURect(b, b3, 384, 3, 1, 1, 0)
+	bd := b.ConvBNReLU(x, 448, 1, 1, 0)
+	bd = b.ConvBNReLU(bd, 384, 3, 1, 1)
+	bda := convBNReLURect(b, bd, 384, 1, 3, 0, 1)
+	bdb := convBNReLURect(b, bd, 384, 3, 1, 1, 0)
+	bp := b.AvgPool(x, 3, 1, 1)
+	bp = b.ConvBNReLU(bp, 192, 1, 1, 0)
+	return b.Concat(b1, b3a, b3b, bda, bdb, bp)
+}

@@ -1,0 +1,100 @@
+// Package models builds the 15 CNN computation graphs the paper evaluates
+// (Section 4): ResNet-18/34/50/101/152, VGG-11/13/16/19,
+// DenseNet-121/161/169/201, Inception-v3 and SSD with a ResNet-50 base.
+// Weights are deterministic seeded synthetic tensors — the evaluation
+// measures latency, not accuracy, so only shapes and structure matter
+// (see DESIGN.md, substitution table).
+//
+// One structural simplification relative to the torchvision definitions:
+// every normalization appears as conv → batch_norm → relu (post-activation),
+// including DenseNet's internals, so that the SimplifyInference pass can
+// fold every BatchNorm. This leaves FLOP counts and layer geometry intact,
+// which is what the latency experiments depend on.
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Spec describes one evaluated model.
+type Spec struct {
+	// Name is the registry key (e.g. "resnet-50").
+	Name string
+	// Display is the paper's table heading (e.g. "ResNet-50").
+	Display string
+	// InputC/H/W is the input geometry; batch is always 1.
+	InputC, InputH, InputW int
+	// UsePBQP marks models whose global search uses the approximation
+	// algorithm ("only SSD was done approximately", Section 3.3.2).
+	UsePBQP bool
+	build   func(b *graph.Builder) *graph.Graph
+}
+
+var registry = map[string]*Spec{}
+
+func register(s *Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic("models: duplicate " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// Names returns the model names in the paper's table order.
+func Names() []string {
+	return []string{
+		"resnet-18", "resnet-34", "resnet-50", "resnet-101", "resnet-152",
+		"vgg-11", "vgg-13", "vgg-16", "vgg-19",
+		"densenet-121", "densenet-161", "densenet-169", "densenet-201",
+		"inception-v3", "ssd-resnet-50",
+	}
+}
+
+// Get returns the spec for a model name.
+func Get(name string) (*Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		known := make([]string, 0, len(registry))
+		for k := range registry {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("models: unknown model %q (known: %v)", name, known)
+	}
+	return s, nil
+}
+
+// Build constructs the named model's graph with the given parameter seed.
+func Build(name string, seed uint64) (*graph.Graph, error) {
+	s, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(name, seed)
+	return s.build(b), nil
+}
+
+// MustBuild is Build for known-good names.
+func MustBuild(name string, seed uint64) *graph.Graph {
+	g, err := Build(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BuildShapeOnly constructs the named model without materializing weight
+// payloads. The graph supports every compiler pass and the latency
+// predictor but cannot be executed; the simulation harnesses use it to keep
+// hundreds of compilations cheap.
+func BuildShapeOnly(name string) (*graph.Graph, error) {
+	s, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(name, 1)
+	b.ShapeOnlyParams = true
+	return s.build(b), nil
+}

@@ -1,0 +1,84 @@
+package models
+
+import "repro/internal/graph"
+
+// ResNet (He et al., CVPR 2016). resnet-18/34 use the two-conv BasicBlock;
+// resnet-50/101/152 use the three-conv Bottleneck.
+
+func init() {
+	for _, m := range []struct {
+		name, display string
+		bottleneck    bool
+		blocks        [4]int
+	}{
+		{"resnet-18", "ResNet-18", false, [4]int{2, 2, 2, 2}},
+		{"resnet-34", "ResNet-34", false, [4]int{3, 4, 6, 3}},
+		{"resnet-50", "ResNet-50", true, [4]int{3, 4, 6, 3}},
+		{"resnet-101", "ResNet-101", true, [4]int{3, 4, 23, 3}},
+		{"resnet-152", "ResNet-152", true, [4]int{3, 8, 36, 3}},
+	} {
+		m := m
+		register(&Spec{
+			Name: m.name, Display: m.display,
+			InputC: 3, InputH: 224, InputW: 224,
+			build: func(b *graph.Builder) *graph.Graph {
+				return buildResNet(b, m.bottleneck, m.blocks, 1000)
+			},
+		})
+	}
+}
+
+// resnetStem is the shared 7x7/2 + 3x3/2-maxpool entry.
+func resnetStem(b *graph.Builder, x *graph.Node) *graph.Node {
+	x = b.ConvBNReLU(x, 64, 7, 2, 3)
+	return b.MaxPool(x, 3, 2, 1)
+}
+
+// basicBlock is conv3x3-BN-ReLU, conv3x3-BN, +shortcut, ReLU.
+func basicBlock(b *graph.Builder, x *graph.Node, outC, stride int, project bool) *graph.Node {
+	identity := x
+	y := b.ConvBNReLU(x, outC, 3, stride, 1)
+	y = b.BatchNorm(b.Conv(y, outC, 3, 1, 1))
+	if project {
+		identity = b.BatchNorm(b.Conv(x, outC, 1, stride, 0))
+	}
+	return b.ReLU(b.Add(y, identity))
+}
+
+// bottleneckBlock is conv1x1-BN-ReLU, conv3x3-BN-ReLU, conv1x1-BN,
+// +shortcut, ReLU; the output width is 4x the bottleneck width.
+func bottleneckBlock(b *graph.Builder, x *graph.Node, midC, stride int, project bool) *graph.Node {
+	outC := midC * 4
+	identity := x
+	y := b.ConvBNReLU(x, midC, 1, 1, 0)
+	y = b.ConvBNReLU(y, midC, 3, stride, 1)
+	y = b.BatchNorm(b.Conv(y, outC, 1, 1, 0))
+	if project {
+		identity = b.BatchNorm(b.Conv(x, outC, 1, stride, 0))
+	}
+	return b.ReLU(b.Add(y, identity))
+}
+
+func buildResNet(b *graph.Builder, bottleneck bool, blocks [4]int, classes int) *graph.Graph {
+	x := b.Input(3, 224, 224)
+	x = resnetStem(b, x)
+	widths := [4]int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		for blk := 0; blk < blocks[stage]; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			project := blk == 0 && (stage > 0 || bottleneck)
+			if bottleneck {
+				x = bottleneckBlock(b, x, widths[stage], stride, project)
+			} else {
+				x = basicBlock(b, x, widths[stage], stride, project)
+			}
+		}
+	}
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, classes)
+	return b.Finish(b.Softmax(x))
+}

@@ -1,0 +1,88 @@
+package models
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ops"
+)
+
+// SSD with a ResNet-50 base at 512x512 input (Liu et al., ECCV 2016; the
+// paper's object-detection workload). The backbone runs ResNet-50 through
+// stage 3; extra stride-2 blocks extend the pyramid down to 2x2. Each scale
+// gets a class-score and a box-offset convolution feeding the multibox
+// head — the per-scale sibling convolutions and the shared trunk create the
+// dense layout-dependency structure that sends the global search to the
+// PBQP approximation (Section 3.3.2).
+
+func init() {
+	register(&Spec{
+		Name: "ssd-resnet-50", Display: "SSD-ResNet-50",
+		InputC: 3, InputH: 512, InputW: 512,
+		UsePBQP: true,
+		build:   buildSSDResNet50,
+	})
+}
+
+const ssdClasses = 20 // VOC
+
+func buildSSDResNet50(b *graph.Builder) *graph.Graph {
+	x := b.Input(3, 512, 512)
+	// ResNet-50 stem and stages 1-3 (512 -> 128 -> 64 -> 32 spatial).
+	x = resnetStem(b, x) // 64ch @ 128
+	blocks := [4]int{3, 4, 6, 3}
+	widths := [4]int{64, 128, 256, 512}
+	var scale0 *graph.Node // stage-2 output: 512ch @ 64x64
+	for stage := 0; stage < 3; stage++ {
+		for blk := 0; blk < blocks[stage]; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			project := blk == 0
+			x = bottleneckBlock(b, x, widths[stage], stride, project)
+		}
+		if stage == 1 {
+			scale0 = x
+		}
+	}
+	scale1 := x // 1024ch @ 32x32
+
+	// Extra feature layers: 1x1 squeeze then 3x3 stride-2 expand.
+	extra := func(x *graph.Node, mid, out int) *graph.Node {
+		y := b.ConvBNReLU(x, mid, 1, 1, 0)
+		return b.ConvBNReLU(y, out, 3, 2, 1)
+	}
+	scale2 := extra(scale1, 256, 512) // 16x16
+	scale3 := extra(scale2, 128, 256) // 8x8
+	scale4 := extra(scale3, 128, 256) // 4x4
+	scale5 := extra(scale4, 128, 256) // 2x2
+
+	scales := []*graph.Node{scale0, scale1, scale2, scale3, scale4, scale5}
+
+	// Anchor configuration: 4 anchors on the extreme scales, 6 in between.
+	sizes := [][]float32{
+		{0.07, 0.1025}, {0.15, 0.2121}, {0.3, 0.3674},
+		{0.45, 0.5196}, {0.6, 0.6708}, {0.75, 0.8216},
+	}
+	ratios := [][]float32{
+		{1, 2, 0.5},
+		{1, 2, 0.5, 3, 1.0 / 3}, {1, 2, 0.5, 3, 1.0 / 3},
+		{1, 2, 0.5, 3, 1.0 / 3}, {1, 2, 0.5, 3, 1.0 / 3},
+		{1, 2, 0.5},
+	}
+
+	attrs := graph.SSDHeadAttrs{
+		NumClasses: ssdClasses,
+		Sizes:      sizes,
+		Ratios:     ratios,
+		Detection:  ops.DefaultMultiBoxDetectionAttrs(),
+	}
+	var pairs []*graph.Node
+	for i, s := range scales {
+		perPixel := len(sizes[i]) + len(ratios[i]) - 1
+		cls := b.Conv(s, perPixel*(ssdClasses+1), 3, 1, 1)
+		loc := b.Conv(s, perPixel*4, 3, 1, 1)
+		pairs = append(pairs, cls, loc)
+	}
+	head := b.SSDHead(attrs, pairs...)
+	return b.Finish(head)
+}

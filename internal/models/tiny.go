@@ -1,0 +1,65 @@
+package models
+
+import "repro/internal/graph"
+
+// Tiny variants keep the structural patterns of the full networks at sizes
+// that real-execution tests can afford. They are not registered in the
+// evaluation registry.
+
+// TinyCNN is a 2-conv classifier on 3x32x32 input.
+func TinyCNN(seed uint64) *graph.Graph {
+	b := graph.NewBuilder("tiny-cnn", seed)
+	x := b.Input(3, 32, 32)
+	x = b.ConvBNReLU(x, 16, 3, 1, 1)
+	x = b.MaxPool(x, 2, 2, 0)
+	x = b.ConvBNReLU(x, 32, 3, 1, 1)
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, 10)
+	return b.Finish(b.Softmax(x))
+}
+
+// TinyResNet is a 2-block residual network on 3x32x32 input.
+func TinyResNet(seed uint64) *graph.Graph {
+	b := graph.NewBuilder("tiny-resnet", seed)
+	x := b.Input(3, 32, 32)
+	x = b.ConvBNReLU(x, 16, 3, 1, 1)
+	for i := 0; i < 2; i++ {
+		x = basicBlock(b, x, 16, 1, i == 0)
+	}
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, 10)
+	return b.Finish(b.Softmax(x))
+}
+
+// TinyDenseNet is a 3-layer dense block on 3x32x32 input.
+func TinyDenseNet(seed uint64) *graph.Graph {
+	b := graph.NewBuilder("tiny-densenet", seed)
+	x := b.Input(3, 32, 32)
+	x = b.ConvBNReLU(x, 16, 3, 1, 1)
+	for i := 0; i < 3; i++ {
+		y := denseLayer(b, x, 8)
+		x = b.Concat(x, y)
+	}
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, 10)
+	return b.Finish(b.Softmax(x))
+}
+
+// TinyVGG is a 4-conv VGG-style net with a small classifier head.
+func TinyVGG(seed uint64) *graph.Graph {
+	b := graph.NewBuilder("tiny-vgg", seed)
+	x := b.Input(3, 32, 32)
+	x = b.ReLU(b.Conv(x, 16, 3, 1, 1))
+	x = b.ReLU(b.Conv(x, 16, 3, 1, 1))
+	x = b.MaxPool(x, 2, 2, 0)
+	x = b.ReLU(b.Conv(x, 32, 3, 1, 1))
+	x = b.ReLU(b.Conv(x, 32, 3, 1, 1))
+	x = b.MaxPool(x, 2, 2, 0)
+	x = b.Flatten(x)
+	x = b.Dropout(b.ReLU(b.Dense(x, 64)))
+	x = b.Dense(x, 10)
+	return b.Finish(b.Softmax(x))
+}

@@ -1,0 +1,46 @@
+package models
+
+import "repro/internal/graph"
+
+// VGG (Simonyan & Zisserman, ICLR 2015): stacks of 3x3 convolutions with
+// 2x2 max pooling between stages, followed by three giant fully-connected
+// layers — the layers that make batch-1 VGG inference bandwidth-bound on the
+// FC weights (and trip OpenVINO's fallback path in Table 2).
+
+func init() {
+	// Per-stage conv counts; channel plan is always 64,128,256,512,512.
+	for _, m := range []struct {
+		name, display string
+		perStage      [5]int
+	}{
+		{"vgg-11", "VGG-11", [5]int{1, 1, 2, 2, 2}},
+		{"vgg-13", "VGG-13", [5]int{2, 2, 2, 2, 2}},
+		{"vgg-16", "VGG-16", [5]int{2, 2, 3, 3, 3}},
+		{"vgg-19", "VGG-19", [5]int{2, 2, 4, 4, 4}},
+	} {
+		m := m
+		register(&Spec{
+			Name: m.name, Display: m.display,
+			InputC: 3, InputH: 224, InputW: 224,
+			build: func(b *graph.Builder) *graph.Graph {
+				return buildVGG(b, m.perStage, 1000)
+			},
+		})
+	}
+}
+
+func buildVGG(b *graph.Builder, perStage [5]int, classes int) *graph.Graph {
+	widths := [5]int{64, 128, 256, 512, 512}
+	x := b.Input(3, 224, 224)
+	for stage := 0; stage < 5; stage++ {
+		for i := 0; i < perStage[stage]; i++ {
+			x = b.ReLU(b.Conv(x, widths[stage], 3, 1, 1))
+		}
+		x = b.MaxPool(x, 2, 2, 0)
+	}
+	x = b.Flatten(x) // 512*7*7 = 25088 features
+	x = b.Dropout(b.ReLU(b.Dense(x, 4096)))
+	x = b.Dropout(b.ReLU(b.Dense(x, 4096)))
+	x = b.Dense(x, classes)
+	return b.Finish(b.Softmax(x))
+}

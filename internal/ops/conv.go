@@ -1,0 +1,307 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Conv2DNCHW is the reference direct convolution in the default NCHW layout
+// with OIHW weights. It is used as the ground truth for every other
+// convolution kernel and as the un-optimized baseline of Table 3 row 1.
+func Conv2DNCHW(in, weight *tensor.Tensor, attrs Conv2DAttrs, epi Epilogue, pf ParallelFor) *tensor.Tensor {
+	if in.Layout.Kind != tensor.LayoutNCHW {
+		panic(fmt.Sprintf("ops: Conv2DNCHW expects NCHW input, got %v", in.Layout))
+	}
+	if weight.Layout.Kind != tensor.LayoutOIHW {
+		panic(fmt.Sprintf("ops: Conv2DNCHW expects OIHW weight, got %v", weight.Layout))
+	}
+	n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oc, wc, kh, kw := weight.Shape[0], weight.Shape[1], weight.Shape[2], weight.Shape[3]
+	if wc != c || oc != attrs.OutC || kh != attrs.KH || kw != attrs.KW {
+		panic(fmt.Sprintf("ops: weight shape %v inconsistent with attrs %+v and input channels %d", weight.Shape, attrs, c))
+	}
+	oh, ow := attrs.OutSize(h, w)
+	out := tensor.New(tensor.NCHW(), n, oc, oh, ow)
+	if pf == nil {
+		pf = Serial
+	}
+
+	pf(n*oc, func(unit int) {
+		b := unit / oc
+		k := unit % oc
+		var bias float32
+		if epi.Bias != nil {
+			bias = epi.Bias[k]
+		}
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				acc := bias
+				for ci := 0; ci < c; ci++ {
+					for r := 0; r < kh; r++ {
+						iy := y*attrs.StrideH + r - attrs.PadH
+						if iy < 0 || iy >= h {
+							continue
+						}
+						inRow := in.Data[((b*c+ci)*h+iy)*w:]
+						wRow := weight.Data[((k*c+ci)*kh+r)*kw:]
+						for s := 0; s < kw; s++ {
+							ix := x*attrs.StrideW + s - attrs.PadW
+							if ix < 0 || ix >= w {
+								continue
+							}
+							acc += inRow[ix] * wRow[s]
+						}
+					}
+				}
+				idx := ((b*oc+k)*oh+y)*ow + x
+				if epi.Residual != nil {
+					acc += epi.Residual.Data[idx]
+				}
+				if epi.ReLU {
+					acc = relu32(acc)
+				}
+				out.Data[idx] = acc
+			}
+		}
+	})
+	return out
+}
+
+// Conv2DNHWC is the channels-last direct convolution (TensorFlow's default
+// layout). Weights remain OIHW.
+func Conv2DNHWC(in, weight *tensor.Tensor, attrs Conv2DAttrs, epi Epilogue, pf ParallelFor) *tensor.Tensor {
+	if in.Layout.Kind != tensor.LayoutNHWC {
+		panic(fmt.Sprintf("ops: Conv2DNHWC expects NHWC input, got %v", in.Layout))
+	}
+	n, h, w, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oc, kh, kw := weight.Shape[0], weight.Shape[2], weight.Shape[3]
+	oh, ow := attrs.OutSize(h, w)
+	out := tensor.New(tensor.NHWC(), n, oh, ow, oc)
+	if pf == nil {
+		pf = Serial
+	}
+
+	pf(n*oh, func(unit int) {
+		b := unit / oh
+		y := unit % oh
+		for x := 0; x < ow; x++ {
+			outPix := out.Data[((b*oh+y)*ow+x)*oc:]
+			for k := 0; k < oc; k++ {
+				var acc float32
+				if epi.Bias != nil {
+					acc = epi.Bias[k]
+				}
+				for r := 0; r < kh; r++ {
+					iy := y*attrs.StrideH + r - attrs.PadH
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for s := 0; s < kw; s++ {
+						ix := x*attrs.StrideW + s - attrs.PadW
+						if ix < 0 || ix >= w {
+							continue
+						}
+						inPix := in.Data[((b*h+iy)*w+ix)*c:]
+						wRow := weight.Data[((k*c)*kh+r)*kw+s:]
+						// Weight stride between consecutive in-channels at a
+						// fixed (r,s) is kh*kw.
+						for ci := 0; ci < c; ci++ {
+							acc += inPix[ci] * wRow[ci*kh*kw]
+						}
+					}
+				}
+				idx := ((b*oh+y)*ow+x)*oc + k
+				if epi.Residual != nil {
+					acc += epi.Residual.Data[idx]
+				}
+				if epi.ReLU {
+					acc = relu32(acc)
+				}
+				outPix[k] = acc
+			}
+		}
+	})
+	return out
+}
+
+// padNCHWc returns the input with explicit zero padding applied on H and W,
+// or the input itself when no padding is needed.
+func padNCHWc(in *tensor.Tensor, padH, padW int) *tensor.Tensor {
+	if padH == 0 && padW == 0 {
+		return in
+	}
+	n, co, h, w, x := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3], in.Shape[4]
+	ph, pw := h+2*padH, w+2*padW
+	out := tensor.New(in.Layout, n, co, ph, pw, x)
+	for b := 0; b < n; b++ {
+		for c := 0; c < co; c++ {
+			for y := 0; y < h; y++ {
+				srcOff := (((b*co+c)*h + y) * w) * x
+				dstOff := (((b*co+c)*ph+y+padH)*pw + padW) * x
+				copy(out.Data[dstOff:dstOff+w*x], in.Data[srcOff:srcOff+w*x])
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DNCHWc is the paper's Algorithm 1: the direct convolution template in
+// the blocked NCHW[x]c layout with OIHW[x]i[y]o weights. The schedule's
+// register blocking is realized with a reg_n × oc_bn accumulator tile that
+// stays in registers/L1 across the full reduction, exactly mirroring the
+// ZMM-register allocation of Figure 1:
+//
+//	for each disjoint chunk of OFMAP:            (parallel)
+//	  for ow.outer:
+//	    init acc[reg_n][oc_bn]
+//	    for ic.outer:
+//	      for each kernel entry (kh,kw):         (optionally unrolled)
+//	        for ic.inner:
+//	          load weight vector  (oc_bn floats)
+//	          fmadd into acc[i] for i < reg_n
+//	    store acc (+ fused epilogue)
+//
+// The input must be NCHW[icb]c and the weight OIHW[icb]i[ocb]o with icb =
+// sched ic_bn and ocb = sched oc_bn.
+func Conv2DNCHWc(in, weight *tensor.Tensor, attrs Conv2DAttrs, icb, ocb, regN int, unrollKer bool, epi Epilogue, pf ParallelFor) *tensor.Tensor {
+	if in.Layout.Kind != tensor.LayoutNCHWc || in.Layout.BlockC != icb {
+		panic(fmt.Sprintf("ops: Conv2DNCHWc expects NCHW%dc input, got %v", icb, in.Layout))
+	}
+	if weight.Layout.Kind != tensor.LayoutOIHWio || weight.Layout.BlockC != icb || weight.Layout.BlockK != ocb {
+		panic(fmt.Sprintf("ops: Conv2DNCHWc expects OIHW%di%do weight, got %v", icb, ocb, weight.Layout))
+	}
+	if regN <= 0 {
+		panic("ops: reg_n must be positive")
+	}
+	n, icOuter, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	ocOuter, kh, kw := weight.Shape[0], weight.Shape[2], weight.Shape[3]
+	if icOuter != weight.Shape[1] {
+		panic(fmt.Sprintf("ops: input ic.outer %d != weight %d", icOuter, weight.Shape[1]))
+	}
+	oh, ow := attrs.OutSize(h, w)
+	out := tensor.New(tensor.NCHWc(ocb), n, ocOuter, oh, ow, ocb)
+	if pf == nil {
+		pf = Serial
+	}
+
+	padded := padNCHWc(in, attrs.PadH, attrs.PadW)
+	ph, pw := padded.Shape[2], padded.Shape[3]
+	_ = ph
+
+	// One parallel unit per (batch, oc.outer, oh) row: the disjoint OFMAP
+	// chunks of Algorithm 1 line 8.
+	pf(n*ocOuter*oh, func(unit int) {
+		y := unit % oh
+		rest := unit / oh
+		co := rest % ocOuter
+		b := rest / ocOuter
+
+		// Accumulator tile: reg_n positions × oc_bn sub-channels. In the
+		// AVX-512 realization each row is one ZMM register.
+		acc := make([]float32, regN*ocb)
+		wBase := co * icOuter * kh * kw * icb * ocb
+
+		for owo := 0; owo < ow; owo += regN {
+			tile := regN
+			if ow-owo < tile {
+				tile = ow - owo
+			}
+			for i := range acc[:tile*ocb] {
+				acc[i] = 0
+			}
+
+			for ci := 0; ci < icOuter; ci++ {
+				inBase := ((b*icOuter+ci)*ph + y*attrs.StrideH) * pw * icb
+				wCI := wBase + ci*kh*kw*icb*ocb
+				if unrollKer && kh == 3 && kw == 3 {
+					conv3x3Tile(padded.Data, weight.Data, acc, inBase, wCI, pw, icb, ocb, tile, owo, attrs.StrideW)
+				} else if unrollKer && kh == 1 && kw == 1 {
+					conv1x1Tile(padded.Data, weight.Data, acc, inBase, wCI, pw, icb, ocb, tile, owo, attrs.StrideW)
+				} else {
+					for r := 0; r < kh; r++ {
+						rowOff := inBase + r*pw*icb
+						for s := 0; s < kw; s++ {
+							wRS := wCI + (r*kw+s)*icb*ocb
+							for ii := 0; ii < icb; ii++ {
+								wVec := weight.Data[wRS+ii*ocb : wRS+ii*ocb+ocb]
+								for i := 0; i < tile; i++ {
+									iv := padded.Data[rowOff+((owo+i)*attrs.StrideW+s)*icb+ii]
+									a := acc[i*ocb : i*ocb+ocb]
+									for oi := range wVec {
+										a[oi] += iv * wVec[oi]
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+
+			// Epilogue + store (Algorithm 1 lines 21-23, with fusion).
+			outBase := (((b*ocOuter+co)*oh+y)*ow + owo) * ocb
+			for i := 0; i < tile; i++ {
+				dst := out.Data[outBase+i*ocb : outBase+(i+1)*ocb]
+				a := acc[i*ocb : (i+1)*ocb]
+				if epi.Bias != nil {
+					bvec := epi.Bias[co*ocb : co*ocb+ocb]
+					for oi := range a {
+						a[oi] += bvec[oi]
+					}
+				}
+				if epi.Residual != nil {
+					res := epi.Residual.Data[outBase+i*ocb : outBase+(i+1)*ocb]
+					for oi := range a {
+						a[oi] += res[oi]
+					}
+				}
+				if epi.ReLU {
+					for oi := range a {
+						a[oi] = relu32(a[oi])
+					}
+				}
+				copy(dst, a)
+			}
+		}
+	})
+	return out
+}
+
+// conv3x3Tile is the unroll_ker=true specialization for 3x3 kernels: the
+// (kh,kw) loop is fully unrolled so the bounds are compile-time constants.
+func conv3x3Tile(in, wt, acc []float32, inBase, wCI, pw, icb, ocb, tile, owo, strideW int) {
+	for r := 0; r < 3; r++ {
+		rowOff := inBase + r*pw*icb
+		wR := wCI + r*3*icb*ocb
+		for ii := 0; ii < icb; ii++ {
+			w0 := wt[wR+ii*ocb : wR+ii*ocb+ocb]
+			w1 := wt[wR+(icb+ii)*ocb : wR+(icb+ii)*ocb+ocb]
+			w2 := wt[wR+(2*icb+ii)*ocb : wR+(2*icb+ii)*ocb+ocb]
+			for i := 0; i < tile; i++ {
+				base := rowOff + (owo+i)*strideW*icb + ii
+				iv0 := in[base]
+				iv1 := in[base+icb]
+				iv2 := in[base+2*icb]
+				a := acc[i*ocb : i*ocb+ocb]
+				for oi := range a {
+					a[oi] += iv0*w0[oi] + iv1*w1[oi] + iv2*w2[oi]
+				}
+			}
+		}
+	}
+}
+
+// conv1x1Tile is the unroll_ker=true specialization for 1x1 kernels.
+func conv1x1Tile(in, wt, acc []float32, inBase, wCI, pw, icb, ocb, tile, owo, strideW int) {
+	_ = pw
+	for ii := 0; ii < icb; ii++ {
+		wv := wt[wCI+ii*ocb : wCI+ii*ocb+ocb]
+		for i := 0; i < tile; i++ {
+			iv := in[inBase+(owo+i)*strideW*icb+ii]
+			a := acc[i*ocb : i*ocb+ocb]
+			for oi := range a {
+				a[oi] += iv * wv[oi]
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU applies max(0, x) element-wise. It is layout-oblivious (Section 3.2
+// category 1): the result carries the input's layout unchanged.
+func ReLU(in *tensor.Tensor, pf ParallelFor) *tensor.Tensor {
+	out := tensor.New(in.Layout, in.Shape...)
+	applyChunked(len(in.Data), pf, func(lo, hi int) {
+		src, dst := in.Data[lo:hi], out.Data[lo:hi]
+		for i, v := range src {
+			dst[i] = relu32(v)
+		}
+	})
+	return out
+}
+
+// Add computes element-wise a+b. Both operands must share layout and shape:
+// Elementwise_Add is the operation that forces its inputs into a common
+// layout during global search (Section 3.3.2, Figure 3).
+func Add(a, b *tensor.Tensor, pf ParallelFor) *tensor.Tensor {
+	if !a.Layout.Equal(b.Layout) {
+		panic(fmt.Sprintf("ops: Add layout mismatch %v vs %v", a.Layout, b.Layout))
+	}
+	if a.NumElements() != b.NumElements() {
+		panic(fmt.Sprintf("ops: Add shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := tensor.New(a.Layout, a.Shape...)
+	applyChunked(len(a.Data), pf, func(lo, hi int) {
+		x, y, dst := a.Data[lo:hi], b.Data[lo:hi], out.Data[lo:hi]
+		for i := range x {
+			dst[i] = x[i] + y[i]
+		}
+	})
+	return out
+}
+
+// Softmax computes a numerically-stable softmax over the last dimension of a
+// rank-2 (batch, classes) tensor.
+func Softmax(in *tensor.Tensor) *tensor.Tensor {
+	if in.Rank() != 2 {
+		panic(fmt.Sprintf("ops: Softmax expects rank-2 input, got %v", in.Shape))
+	}
+	n, c := in.Shape[0], in.Shape[1]
+	out := tensor.New(in.Layout, n, c)
+	for b := 0; b < n; b++ {
+		row := in.Data[b*c : (b+1)*c]
+		dst := out.Data[b*c : (b+1)*c]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - maxV))
+			dst[i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := range dst {
+			dst[i] *= inv
+		}
+	}
+	return out
+}
+
+// Sigmoid applies 1/(1+exp(-x)) element-wise.
+func Sigmoid(in *tensor.Tensor, pf ParallelFor) *tensor.Tensor {
+	out := tensor.New(in.Layout, in.Shape...)
+	applyChunked(len(in.Data), pf, func(lo, hi int) {
+		src, dst := in.Data[lo:hi], out.Data[lo:hi]
+		for i, v := range src {
+			dst[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		}
+	})
+	return out
+}
+
+// Flatten reshapes an NCHW activation to (batch, C*H*W). It is the canonical
+// layout-dependent operation (Section 3.2 category 3): blocked inputs must be
+// transformed back to NCHW before flattening, which is why the optimized
+// layout flow stops here in Figure 2.
+func Flatten(in *tensor.Tensor) *tensor.Tensor {
+	switch in.Layout.Kind {
+	case tensor.LayoutNCHW:
+		n := in.Shape[0]
+		return in.Clone().Reshape(tensor.Flat(), n, in.NumElements()/n)
+	case tensor.LayoutFlat:
+		return in.Clone()
+	default:
+		panic(fmt.Sprintf("ops: Flatten is layout-dependent and requires NCHW, got %v", in.Layout))
+	}
+}
+
+// applyChunked splits [0,n) into cache-friendly chunks and runs them through
+// the ParallelFor.
+func applyChunked(n int, pf ParallelFor, body func(lo, hi int)) {
+	if pf == nil {
+		pf = Serial
+	}
+	const chunk = 1 << 14
+	chunks := (n + chunk - 1) / chunk
+	if chunks == 0 {
+		return
+	}
+	pf(chunks, func(i int) {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi)
+	})
+}

@@ -1,0 +1,60 @@
+// Package ops implements the CNN operators NeoCPU-Go executes: the direct
+// convolution template of the paper's Algorithm 1 (blocked NCHW[x]c layout,
+// register blocking along out_width, optional kernel-loop unrolling, fused
+// epilogues), reference convolutions in NCHW/NHWC for correctness checking
+// and for the library baselines, and the memory-bound operators that surround
+// convolutions in CNN models (pooling, batch norm, activations, element-wise
+// arithmetic, dense layers and the SSD multibox head).
+//
+// All kernels are pure functions over tensor.Tensor values. Parallel kernels
+// accept a ParallelFor so the caller chooses the threading runtime (the
+// custom thread pool, the OpenMP-style pool, or serial execution).
+package ops
+
+import (
+	"repro/internal/tensor"
+)
+
+// ParallelFor runs body(i) for i in [0, n), possibly concurrently. The
+// implementations live in internal/threadpool; Serial is the default.
+type ParallelFor func(n int, body func(i int))
+
+// Serial is the trivial ParallelFor.
+func Serial(n int, body func(i int)) {
+	for i := 0; i < n; i++ {
+		body(i)
+	}
+}
+
+// Conv2DAttrs carries the geometry attributes of a convolution node.
+type Conv2DAttrs struct {
+	OutC, KH, KW     int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutSize returns the output spatial size for an input of h×w.
+func (a Conv2DAttrs) OutSize(h, w int) (int, int) {
+	return (h+2*a.PadH-a.KH)/a.StrideH + 1, (w+2*a.PadW-a.KW)/a.StrideW + 1
+}
+
+// Epilogue describes computation fused into a convolution's output store:
+// bias addition, residual addition and ReLU, in that order. Fusing these
+// memory-bound operators into the CONV raises arithmetic intensity
+// (Section 2.2 of the paper).
+type Epilogue struct {
+	// Bias, if non-nil, has one entry per output channel.
+	Bias []float32
+	// Residual, if non-nil, is added element-wise; it must share the
+	// convolution output's layout and shape.
+	Residual *tensor.Tensor
+	// ReLU clamps negatives to zero after the additions.
+	ReLU bool
+}
+
+func relu32(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,186 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// This file implements the SSD multibox head (Liu et al., ECCV 2016), which
+// the paper evaluates as SSD-ResNet-50. These operators run after the
+// convolutional backbone: MultiBoxPrior generates anchors at compile time;
+// MultiBoxDetection decodes predictions and runs non-maximum suppression.
+// OpenVINO's SSD sample excludes this stage from its reported time
+// (the asterisk in Table 2), which the baseline simulator reproduces.
+
+// MultiBoxPrior generates anchor boxes for one feature map of size h×w.
+// sizes are scale fractions of the image, ratios are aspect ratios; each
+// pixel gets len(sizes)+len(ratios)-1 anchors (the SSD convention). Boxes
+// are returned as (1, h*w*perPixel, 4) corner-format coordinates normalized
+// to [0,1].
+func MultiBoxPrior(h, w int, sizes, ratios []float32) *tensor.Tensor {
+	if len(sizes) == 0 || len(ratios) == 0 {
+		panic("ops: MultiBoxPrior needs at least one size and one ratio")
+	}
+	perPixel := len(sizes) + len(ratios) - 1
+	out := tensor.New(tensor.Flat(), 1, h*w*perPixel, 4)
+	idx := 0
+	put := func(cx, cy, bw, bh float32) {
+		out.Data[idx] = cx - bw/2
+		out.Data[idx+1] = cy - bh/2
+		out.Data[idx+2] = cx + bw/2
+		out.Data[idx+3] = cy + bh/2
+		idx += 4
+	}
+	for y := 0; y < h; y++ {
+		cy := (float32(y) + 0.5) / float32(h)
+		for x := 0; x < w; x++ {
+			cx := (float32(x) + 0.5) / float32(w)
+			// First anchor set: every size with ratio[0].
+			r0 := float32(math.Sqrt(float64(ratios[0])))
+			for _, s := range sizes {
+				put(cx, cy, s*r0, s/r0)
+			}
+			// Second set: size[0] with the remaining ratios.
+			for _, r := range ratios[1:] {
+				sr := float32(math.Sqrt(float64(r)))
+				put(cx, cy, sizes[0]*sr, sizes[0]/sr)
+			}
+		}
+	}
+	return out
+}
+
+// Detection is one decoded SSD detection.
+type Detection struct {
+	Class int
+	Score float32
+	// Box is corner-format (xmin, ymin, xmax, ymax), normalized.
+	Box [4]float32
+}
+
+// MultiBoxDetectionAttrs configures decoding and NMS.
+type MultiBoxDetectionAttrs struct {
+	// ScoreThresh drops detections below this confidence.
+	ScoreThresh float32
+	// NMSThresh is the IoU threshold for suppression.
+	NMSThresh float32
+	// NMSTopK caps the candidates entering NMS (<=0: unlimited).
+	NMSTopK int
+	// Variances are the SSD box-decoding variances (cx, cy, w, h).
+	Variances [4]float32
+}
+
+// DefaultMultiBoxDetectionAttrs returns the standard SSD settings.
+func DefaultMultiBoxDetectionAttrs() MultiBoxDetectionAttrs {
+	return MultiBoxDetectionAttrs{
+		ScoreThresh: 0.01,
+		NMSThresh:   0.45,
+		NMSTopK:     400,
+		Variances:   [4]float32{0.1, 0.1, 0.2, 0.2},
+	}
+}
+
+// MultiBoxDetection decodes class scores and location offsets against the
+// anchors and applies per-class NMS. clsProb is (1, numClasses+1, numAnchors)
+// with class 0 = background; locPred is (1, numAnchors*4); anchors is
+// (1, numAnchors, 4). This operator is layout-dependent: it consumes flat
+// tensors produced after the blocked layout flow ends.
+func MultiBoxDetection(clsProb, locPred, anchors *tensor.Tensor, attrs MultiBoxDetectionAttrs) []Detection {
+	numClasses := clsProb.Shape[1] - 1
+	numAnchors := clsProb.Shape[2]
+	if anchors.Shape[1] != numAnchors {
+		panic(fmt.Sprintf("ops: anchors %d != clsProb anchors %d", anchors.Shape[1], numAnchors))
+	}
+	if locPred.NumElements() != numAnchors*4 {
+		panic(fmt.Sprintf("ops: locPred size %d != 4*%d", locPred.NumElements(), numAnchors))
+	}
+
+	var cands []Detection
+	for a := 0; a < numAnchors; a++ {
+		// Best non-background class for this anchor.
+		bestC, bestS := -1, attrs.ScoreThresh
+		for c := 1; c <= numClasses; c++ {
+			s := clsProb.Data[c*numAnchors+a]
+			if s > bestS {
+				bestC, bestS = c-1, s
+			}
+		}
+		if bestC < 0 {
+			continue
+		}
+		box := decodeBox(anchors.Data[a*4:a*4+4], locPred.Data[a*4:a*4+4], attrs.Variances)
+		cands = append(cands, Detection{Class: bestC, Score: bestS, Box: box})
+	}
+
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
+	if attrs.NMSTopK > 0 && len(cands) > attrs.NMSTopK {
+		cands = cands[:attrs.NMSTopK]
+	}
+
+	// Greedy per-class NMS.
+	var kept []Detection
+	suppressed := make([]bool, len(cands))
+	for i := range cands {
+		if suppressed[i] {
+			continue
+		}
+		kept = append(kept, cands[i])
+		for j := i + 1; j < len(cands); j++ {
+			if suppressed[j] || cands[j].Class != cands[i].Class {
+				continue
+			}
+			if iou(cands[i].Box, cands[j].Box) > attrs.NMSThresh {
+				suppressed[j] = true
+			}
+		}
+	}
+	return kept
+}
+
+// decodeBox applies the SSD center-offset decoding.
+func decodeBox(anchor, loc []float32, v [4]float32) [4]float32 {
+	aw := anchor[2] - anchor[0]
+	ah := anchor[3] - anchor[1]
+	acx := anchor[0] + aw/2
+	acy := anchor[1] + ah/2
+	cx := acx + loc[0]*v[0]*aw
+	cy := acy + loc[1]*v[1]*ah
+	bw := aw * float32(math.Exp(float64(loc[2]*v[2])))
+	bh := ah * float32(math.Exp(float64(loc[3]*v[3])))
+	return [4]float32{cx - bw/2, cy - bh/2, cx + bw/2, cy + bh/2}
+}
+
+// iou computes intersection-over-union of two corner-format boxes.
+func iou(a, b [4]float32) float32 {
+	x1 := maxf(a[0], b[0])
+	y1 := maxf(a[1], b[1])
+	x2 := minf(a[2], b[2])
+	y2 := minf(a[3], b[3])
+	iw := relu32(x2 - x1)
+	ih := relu32(y2 - y1)
+	inter := iw * ih
+	areaA := relu32(a[2]-a[0]) * relu32(a[3]-a[1])
+	areaB := relu32(b[2]-b[0]) * relu32(b[3]-b[1])
+	union := areaA + areaB - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,110 @@
+package ops
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func runWinograd(in, wt *tensor.Tensor, attrs Conv2DAttrs, epi Epilogue) *tensor.Tensor {
+	u := WinogradWeightTransform(wt)
+	return Conv2DWinograd(in, u, attrs, epi, nil)
+}
+
+func TestWinogradMatchesReference(t *testing.T) {
+	cases := []struct {
+		name          string
+		c, h, w, ocnt int
+		pad           int
+	}{
+		{"even-pad1", 8, 8, 8, 16, 1},
+		{"even-pad0", 8, 10, 10, 8, 0},
+		{"odd-output-pad1", 4, 7, 9, 8, 1}, // 7x9 output: partial tiles
+		{"odd-output-pad0", 4, 7, 7, 4, 0}, // 5x5 output
+		{"single-channel", 1, 6, 6, 1, 1},
+		{"wide", 3, 5, 17, 5, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in, wt := convCase(77, tc.c, tc.h, tc.w, tc.ocnt, 3, 3)
+			attrs := Conv2DAttrs{OutC: tc.ocnt, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: tc.pad, PadW: tc.pad}
+			ref := Conv2DNCHW(in, wt, attrs, Epilogue{}, nil)
+			got := runWinograd(in, wt, attrs, Epilogue{})
+			if !tensor.AllClose(ref, got, 1e-3) {
+				t.Fatalf("winograd diverges from direct: max diff %g", tensor.MaxAbsDiff(ref, got))
+			}
+		})
+	}
+}
+
+func TestWinogradEpilogue(t *testing.T) {
+	in, wt := convCase(78, 8, 8, 8, 8, 3, 3)
+	attrs := Conv2DAttrs{OutC: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	bias := make([]float32, 8)
+	for i := range bias {
+		bias[i] = float32(i)*0.2 - 0.7
+	}
+	res := tensor.New(tensor.NCHW(), 1, 8, 8, 8)
+	res.FillRandom(79, 1)
+	epi := Epilogue{Bias: bias, Residual: res, ReLU: true}
+	ref := Conv2DNCHW(in, wt, attrs, epi, nil)
+	got := runWinograd(in, wt, attrs, epi)
+	if !tensor.AllClose(ref, got, 1e-3) {
+		t.Fatalf("winograd fused epilogue diverges: %g", tensor.MaxAbsDiff(ref, got))
+	}
+}
+
+func TestWinogradParallelMatchesSerial(t *testing.T) {
+	in, wt := convCase(80, 8, 12, 12, 8, 3, 3)
+	attrs := Conv2DAttrs{OutC: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	u := WinogradWeightTransform(wt)
+	serial := Conv2DWinograd(in, u, attrs, Epilogue{}, Serial)
+	goPar := func(n int, body func(i int)) {
+		done := make(chan struct{})
+		for i := 0; i < n; i++ {
+			go func(i int) { body(i); done <- struct{}{} }(i)
+		}
+		for i := 0; i < n; i++ {
+			<-done
+		}
+	}
+	par := Conv2DWinograd(in, u, attrs, Epilogue{}, goPar)
+	if tensor.MaxAbsDiff(serial, par) != 0 {
+		t.Fatal("parallel winograd must be bit-identical to serial")
+	}
+}
+
+func TestWinogradRejectsUnsupported(t *testing.T) {
+	in, wt := convCase(81, 4, 8, 8, 4, 3, 3)
+	u := WinogradWeightTransform(wt)
+	mustPanic(t, func() {
+		Conv2DWinograd(in, u, Conv2DAttrs{OutC: 4, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}, Epilogue{}, nil)
+	})
+	_, wt5 := convCase(82, 4, 8, 8, 4, 5, 5)
+	mustPanic(t, func() { WinogradWeightTransform(wt5) })
+	mustPanic(t, func() {
+		Conv2DWinograd(tensor.ToNCHWc(in, 4), u, Conv2DAttrs{OutC: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1}, Epilogue{}, nil)
+	})
+}
+
+func TestQuickWinogradEquivalence(t *testing.T) {
+	f := func(seed uint64, cRaw, oRaw, hRaw, wRaw uint8, pad bool) bool {
+		c := 1 + int(cRaw)%6
+		o := 1 + int(oRaw)%6
+		h := 5 + int(hRaw)%8
+		w := 5 + int(wRaw)%8
+		p := 0
+		if pad {
+			p = 1
+		}
+		in, wt := convCase(seed, c, h, w, o, 3, 3)
+		attrs := Conv2DAttrs{OutC: o, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: p, PadW: p}
+		ref := Conv2DNCHW(in, wt, attrs, Epilogue{}, nil)
+		got := runWinograd(in, wt, attrs, Epilogue{})
+		return tensor.AllClose(ref, got, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/machine"
+)
+
+func TestTable1Static(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"NeoCPU", "OpenVINO", "Glow", "Joint opt"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2AllTargets(t *testing.T) {
+	for _, tgt := range machine.AllTargets() {
+		rows, err := Table2(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 15 {
+			t.Fatalf("%s: rows = %d, want 15", tgt.Name, len(rows))
+		}
+		for _, r := range rows {
+			if _, ok := r.MS[baselines.EngineNeoCPU]; !ok {
+				t.Fatalf("%s/%s: missing NeoCPU entry", tgt.Name, r.Model)
+			}
+			if tgt.ISA == machine.NEON {
+				if _, ok := r.MS[baselines.EngineOpenVINO]; ok {
+					t.Fatalf("OpenVINO must be absent on ARM")
+				}
+			}
+		}
+		out := FormatTable2(tgt, rows)
+		if !strings.Contains(out, "ResNet-50") || !strings.Contains(out, "Table 2") {
+			t.Fatalf("%s: formatted table incomplete", tgt.Name)
+		}
+		if tgt.ISA != machine.NEON && !strings.Contains(out, "*") {
+			t.Fatalf("%s: SSD asterisk missing", tgt.Name)
+		}
+	}
+}
+
+func TestTable2NeoCPUWinsARMCount(t *testing.T) {
+	rows, err := Table2(machine.ARMCortexA72())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if best(r, machine.ARMCortexA72()) != baselines.EngineNeoCPU {
+			t.Errorf("ARM %s: NeoCPU must be best", r.Model)
+		}
+	}
+}
+
+func TestTable3Bands(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		// Paper row 2 (Layout Opt.): 4.08-8.33x. Allow a wider simulator
+		// band: DenseNet's many 1x1 convolutions are bandwidth-bound in the
+		// machine model, which caps how much blocking can help them.
+		if r.LayoutOpt < 2.5 || r.LayoutOpt > 10 {
+			t.Errorf("%s: layout-opt speedup %.2f outside [2.5, 10]", r.Model, r.LayoutOpt)
+		}
+		// Rows must be cumulative and monotone.
+		if !(r.TransformElim > r.LayoutOpt) {
+			t.Errorf("%s: transform elimination (%.2f) must improve on layout opt (%.2f)",
+				r.Model, r.TransformElim, r.LayoutOpt)
+		}
+		if r.GlobalSearch < r.TransformElim*0.999 {
+			t.Errorf("%s: global search (%.2f) must not lose to transform elim (%.2f)",
+				r.Model, r.GlobalSearch, r.TransformElim)
+		}
+		// Paper row 3 adds 1.1-1.5x over row 2.
+		gain := r.TransformElim / r.LayoutOpt
+		if gain < 1.02 || gain > 2 {
+			t.Errorf("%s: transform-elim gain %.2f outside [1.02, 2]", r.Model, gain)
+		}
+	}
+	out := FormatTable3(rows)
+	if !strings.Contains(out, "Global Search") {
+		t.Fatal("formatted table 3 incomplete")
+	}
+}
+
+func TestFigure4Shapes(t *testing.T) {
+	for _, spec := range Figure4Specs() {
+		series, err := Figure4(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSeries := 5
+		if spec.Target.ISA == machine.NEON {
+			wantSeries = 4 // no OpenVINO
+		}
+		if len(series) != wantSeries {
+			t.Fatalf("%s: series = %d, want %d", spec.Name, len(series), wantSeries)
+		}
+		var pool, omp Figure4Series
+		for _, s := range series {
+			if len(s.ImagesPerSec) != spec.Target.Cores {
+				t.Fatalf("%s/%s: points = %d, want %d", spec.Name, s.Label, len(s.ImagesPerSec), spec.Target.Cores)
+			}
+			if strings.Contains(s.Label, "thread pool") {
+				pool = s
+			}
+			if strings.Contains(s.Label, "OMP") {
+				omp = s
+			}
+		}
+		n := spec.Target.Cores - 1
+		// The custom pool ends above NeoCPU-on-OMP, which ends above every
+		// baseline (Figure 4's headline).
+		if pool.ImagesPerSec[n] <= omp.ImagesPerSec[n] {
+			t.Errorf("%s: pool (%.1f) must beat OMP (%.1f) at full threads",
+				spec.Name, pool.ImagesPerSec[n], omp.ImagesPerSec[n])
+		}
+		for _, s := range series {
+			if s.Label == pool.Label || s.Label == omp.Label {
+				continue
+			}
+			if s.ImagesPerSec[n] >= omp.ImagesPerSec[n] {
+				t.Errorf("%s: baseline %s (%.1f) should trail NeoCPU w/ OMP (%.1f)",
+					spec.Name, s.Label, s.ImagesPerSec[n], omp.ImagesPerSec[n])
+			}
+		}
+		// Monotone-ish growth for the pool curve.
+		if pool.ImagesPerSec[n] <= pool.ImagesPerSec[0] {
+			t.Errorf("%s: pool curve does not scale", spec.Name)
+		}
+		out := FormatFigure4(spec, series)
+		if !strings.Contains(out, "images/sec") {
+			t.Fatal("formatted figure incomplete")
+		}
+	}
+}
+
+func TestFigure4MXNetARMPlateau(t *testing.T) {
+	// Figure 4c: MXNet/OpenBlas stops scaling on ARM.
+	spec := Figure4Specs()[2]
+	series, err := Figure4(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if s.Label != "MXNet" {
+			continue
+		}
+		last := s.ImagesPerSec[len(s.ImagesPerSec)-1]
+		mid := s.ImagesPerSec[8]
+		if last > mid*1.02 {
+			t.Errorf("MXNet on ARM should plateau: t9=%.2f t16=%.2f", mid, last)
+		}
+	}
+}

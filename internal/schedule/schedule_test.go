@@ -1,0 +1,201 @@
+package schedule
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+var testWL = machine.ConvWorkload{
+	InC: 32, InH: 14, InW: 14, OutC: 64, KH: 3, KW: 3,
+	StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+}
+
+func TestDivisors(t *testing.T) {
+	got := divisors(64)
+	want := []int{64, 32, 16, 8, 4, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("divisors(64) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("divisors(64) = %v, want %v", got, want)
+		}
+	}
+	if d := divisors(3); len(d) != 2 || d[0] != 3 || d[1] != 1 {
+		t.Fatalf("divisors(3) = %v", d)
+	}
+}
+
+func TestCandidatesCoverSpace(t *testing.T) {
+	tgt := machine.IntelSkylakeC5()
+	cands := Candidates(testWL, tgt)
+	// 32 has 6 divisors, 64 has 7; all <= 64. 6*7*5*2 = 420.
+	if len(cands) != 420 {
+		t.Fatalf("candidate count = %d, want 420", len(cands))
+	}
+	seen := map[string]bool{}
+	for _, c := range cands {
+		if testWL.InC%c.ICBlock != 0 || testWL.OutC%c.OCBlock != 0 {
+			t.Fatalf("candidate %v does not divide channels", c)
+		}
+		k := c.String()
+		if seen[k] {
+			t.Fatalf("duplicate candidate %v", c)
+		}
+		seen[k] = true
+	}
+}
+
+func TestCandidatesCapBlocks(t *testing.T) {
+	wl := testWL
+	wl.InC, wl.OutC = 512, 2048
+	for _, c := range Candidates(wl, machine.IntelSkylakeC5()) {
+		if c.ICBlock > 64 || c.OCBlock > 64 {
+			t.Fatalf("block factor above cap: %v", c)
+		}
+	}
+}
+
+func TestLocalSearchSortedAndSensible(t *testing.T) {
+	tgt := machine.IntelSkylakeC5()
+	results := LocalSearch(testWL, tgt, CostModelEvaluator(tgt))
+	for i := 1; i < len(results); i++ {
+		if results[i].Time < results[i-1].Time {
+			t.Fatalf("results not ascending at %d", i)
+		}
+	}
+	best := results[0].Sched
+	// On AVX-512 the winning schedule must use full 16-lane vectors.
+	if best.OCBlock%tgt.VectorLanes != 0 {
+		t.Fatalf("best schedule %v does not fill vector lanes", best)
+	}
+	// And enough accumulators to hide FMA latency.
+	if best.RegN < tgt.FMALatency*tgt.FMAPerCycle/2 {
+		t.Fatalf("best schedule %v has too few accumulators", best)
+	}
+}
+
+func TestLocalSearchBeatsNaiveChoice(t *testing.T) {
+	tgt := machine.ARMCortexA72()
+	results := LocalSearch(testWL, tgt, CostModelEvaluator(tgt))
+	best := results[0].Time
+	worst := results[len(results)-1].Time
+	if worst/best < 1.5 {
+		t.Fatalf("search space too flat: best %v worst %v", best, worst)
+	}
+}
+
+func TestBestByBlockPair(t *testing.T) {
+	tgt := machine.IntelSkylakeC5()
+	results := LocalSearch(testWL, tgt, CostModelEvaluator(tgt))
+	pairs := BestByBlockPair(results)
+	// 6 ic divisors * 7 oc divisors = 42 pairs.
+	if len(pairs) != 42 {
+		t.Fatalf("pair count = %d, want 42", len(pairs))
+	}
+	// Must stay ascending and unique per pair.
+	seen := map[[2]int]bool{}
+	for i, r := range pairs {
+		key := [2]int{r.Sched.ICBlock, r.Sched.OCBlock}
+		if seen[key] {
+			t.Fatalf("pair %v repeated", key)
+		}
+		seen[key] = true
+		if i > 0 && pairs[i].Time < pairs[i-1].Time {
+			t.Fatal("pairs not ascending")
+		}
+	}
+	// The overall best must survive the reduction.
+	if pairs[0].Time != results[0].Time {
+		t.Fatal("best result lost in pair reduction")
+	}
+}
+
+func TestDBMemoizes(t *testing.T) {
+	tgt := machine.IntelSkylakeC5()
+	db := NewDB()
+	calls := 0
+	eval := func(wl machine.ConvWorkload, s machine.ConvSchedule) float64 {
+		calls++
+		return CostModelEvaluator(tgt)(wl, s)
+	}
+	r1 := db.Search(tgt, testWL, eval)
+	n := calls
+	r2 := db.Search(tgt, testWL, eval)
+	if calls != n {
+		t.Fatal("second search must hit the memo")
+	}
+	if len(r1) != len(r2) || r1[0] != r2[0] {
+		t.Fatal("memoized results differ")
+	}
+	if db.Len() != 1 {
+		t.Fatalf("db len = %d", db.Len())
+	}
+	// Different target: separate entry.
+	db.Search(machine.ARMCortexA72(), testWL, eval)
+	if db.Len() != 2 {
+		t.Fatalf("db len = %d, want 2", db.Len())
+	}
+}
+
+func TestDBSaveLoadRoundTrip(t *testing.T) {
+	tgt := machine.IntelSkylakeC5()
+	db := NewDB()
+	db.Search(tgt, testWL, CostModelEvaluator(tgt))
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewDB()
+	if err := db2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := db.Lookup(tgt, testWL)
+	r2, ok := db2.Lookup(tgt, testWL)
+	if !ok || len(r1) != len(r2) {
+		t.Fatal("round trip lost entries")
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("entry %d differs: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+	if err := db2.Load(bytes.NewBufferString("{broken")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestMeasuredEvaluatorRuns(t *testing.T) {
+	// A tiny workload measured for real: the blocked kernel must execute and
+	// return a positive time.
+	wl := machine.ConvWorkload{InC: 8, InH: 8, InW: 8, OutC: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	eval := MeasuredEvaluator(2)
+	s := machine.ConvSchedule{ICBlock: 4, OCBlock: 4, RegN: 4, UnrollKer: true}
+	got := eval(wl, s)
+	if got <= 0 {
+		t.Fatalf("measured time = %v", got)
+	}
+}
+
+func TestDBConcurrentAccess(t *testing.T) {
+	tgt := machine.IntelSkylakeC5()
+	db := NewDB()
+	eval := CostModelEvaluator(tgt)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			wl := testWL
+			wl.OutC = 16 << (i % 3)
+			db.Search(tgt, wl, eval)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if db.Len() != 3 {
+		t.Fatalf("db len = %d, want 3", db.Len())
+	}
+}

@@ -1,0 +1,181 @@
+package search
+
+import (
+	"fmt"
+	"math"
+)
+
+// BruteForce enumerates every assignment and returns the optimum. It is
+// exponential and intended only for validating the other solvers on small
+// problems (the paper's "compare with the result of DP (the guaranteed
+// best) on some simple networks").
+func BruteForce(p *Problem) ([]int, float64, error) {
+	combos := 1.0
+	for _, v := range p.Vars {
+		combos *= float64(len(v.Cands))
+		if combos > 5e7 {
+			return nil, 0, fmt.Errorf("search: brute force space too large (%g combos)", combos)
+		}
+	}
+	assign := make([]int, len(p.Vars))
+	best := make([]int, len(p.Vars))
+	bestCost := math.Inf(1)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(p.Vars) {
+			if c := p.Objective(assign); c < bestCost {
+				bestCost = c
+				copy(best, assign)
+			}
+			return
+		}
+		for j := range p.Vars[i].Cands {
+			assign[i] = j
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, bestCost, nil
+}
+
+// dpState is one frontier state of the dynamic program: the best-known cost
+// of any assignment prefix consistent with the live variables' choices,
+// together with the full assignment that achieved it (for backtracking).
+type dpState struct {
+	cost   float64
+	assign []int8
+}
+
+// DP is the exact dynamic program of Algorithm 2, generalized to DAGs with a
+// frontier: variables are processed in topological order; a variable stays
+// "live" until the last variable sharing an edge with it has been processed,
+// at which point states that differ only in its choice are merged by
+// minimum ("the intermediate states stored for its predecessor can be safely
+// removed"). The frontier state count is capped by stateBudget; exceeding it
+// aborts with an error so the caller can fall back to PBQP — reproducing the
+// paper's "switch to the approximation algorithm if DP does not complete"
+// rule deterministically.
+func DP(p *Problem, stateBudget int) ([]int, float64, error) {
+	n := len(p.Vars)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	if stateBudget <= 0 {
+		stateBudget = 200000
+	}
+	for _, v := range p.Vars {
+		if len(v.Cands) > 127 {
+			return nil, 0, fmt.Errorf("search: DP supports <=127 candidates per variable")
+		}
+	}
+
+	// lastUse[i] is the latest variable index whose processing needs i's
+	// choice (i itself if it has no later neighbors).
+	lastUse := make([]int, n)
+	for i := range lastUse {
+		lastUse[i] = i
+	}
+	for _, e := range p.Edges {
+		lo, hi := e.A, e.B
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi > lastUse[lo] {
+			lastUse[lo] = hi
+		}
+	}
+
+	// Frontier states keyed by the packed choices of live variables.
+	live := []int{}
+	init := &dpState{cost: 0, assign: make([]int8, n)}
+	for i := range init.assign {
+		init.assign[i] = -1
+	}
+	states := map[string]*dpState{"": init}
+
+	key := func(assign []int8, liveVars []int) string {
+		buf := make([]byte, len(liveVars))
+		for i, v := range liveVars {
+			buf[i] = byte(assign[v])
+		}
+		return string(buf)
+	}
+
+	for i := 0; i < n; i++ {
+		v := p.Vars[i]
+		// Edges from i to already-processed variables.
+		var incoming []*Edge
+		for _, ei := range p.adj[i] {
+			e := p.Edges[ei]
+			other := e.A
+			if other == i {
+				other = e.B
+			}
+			if other < i {
+				incoming = append(incoming, e)
+			}
+		}
+
+		next := make(map[string]*dpState, len(states)*len(v.Cands))
+		newLive := append(append([]int{}, live...), i)
+		// Keep a variable live only while a later step still has an edge to
+		// it; everything else merges away ("the intermediate states stored
+		// for its predecessor can be safely removed").
+		kept := newLive[:0]
+		for _, lv := range newLive {
+			if lastUse[lv] > i {
+				kept = append(kept, lv)
+			}
+		}
+		for _, st := range states {
+			for j := range v.Cands {
+				cost := st.cost + v.Unary[j]
+				for _, e := range incoming {
+					if e.A == i {
+						cost += e.Cost[j][st.assign[e.B]]
+					} else {
+						cost += e.Cost[st.assign[e.A]][j]
+					}
+				}
+				assign := append([]int8(nil), st.assign...)
+				assign[i] = int8(j)
+				k := key(assign, kept)
+				prev, ok := next[k]
+				if !ok || cost < prev.cost ||
+					(cost == prev.cost && lexLess(assign, prev.assign)) {
+					next[k] = &dpState{cost: cost, assign: assign}
+				}
+			}
+			if len(next) > stateBudget {
+				return nil, 0, fmt.Errorf("search: DP frontier exceeded %d states at variable %d/%d", stateBudget, i, n)
+			}
+		}
+		states = next
+		live = kept
+	}
+
+	var best *dpState
+	for _, st := range states {
+		if best == nil || st.cost < best.cost ||
+			(st.cost == best.cost && lexLess(st.assign, best.assign)) {
+			best = st
+		}
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(best.assign[i])
+	}
+	return out, best.cost, nil
+}
+
+// lexLess orders assignments lexicographically; equal-cost DP states break
+// ties toward the smaller assignment so results are deterministic regardless
+// of map iteration order.
+func lexLess(a, b []int8) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,297 @@
+package search
+
+import (
+	"math"
+)
+
+// This file implements the PBQP (partitioned boolean quadratic programming)
+// heuristic solver the paper borrows from register allocation (Section
+// 3.3.2, following Hames & Scholz). The solver repeatedly reduces the graph:
+//
+//	R0: a variable with no edges takes its cheapest candidate.
+//	RI: a degree-1 variable folds into its neighbor's unary vector.
+//	RII: a degree-2 variable folds into an edge between its two neighbors.
+//	RN: otherwise, the maximum-degree variable is fixed heuristically to the
+//	    candidate minimizing its unary cost plus optimistic edge costs.
+//
+// Reductions are recorded on a stack and resolved in reverse during
+// back-propagation, yielding a complete assignment. R0/RI/RII preserve
+// optimality; only RN is heuristic, which is why the result is validated
+// against DP on tractable graphs ("at least 88% of the best available
+// result").
+
+// pbqpEdge is a mutable working copy of an Edge.
+type pbqpEdge struct {
+	a, b int
+	cost [][]float64
+}
+
+type pbqpSolver struct {
+	unary   [][]float64
+	edges   map[int]*pbqpEdge // id -> edge
+	adj     []map[int]bool    // var -> edge ids
+	alive   []bool
+	nextID  int
+	assign  []int
+	actions []pbqpAction
+}
+
+// pbqpAction records one reduction for back-propagation.
+type pbqpAction struct {
+	kind int // 0=R0, 1=RI, 2=RII, 3=RN
+	v    int
+	// For RI/RII: the neighbor(s) and the decision table mapping neighbor
+	// candidate(s) to v's best candidate.
+	n1, n2  int
+	decide1 []int   // RI: best j for each candidate of n1
+	decide2 [][]int // RII: best j for each (n1 cand, n2 cand)
+}
+
+// PBQP solves the problem heuristically and returns the assignment.
+func PBQP(p *Problem) ([]int, float64) {
+	s := &pbqpSolver{
+		unary:  make([][]float64, len(p.Vars)),
+		edges:  map[int]*pbqpEdge{},
+		adj:    make([]map[int]bool, len(p.Vars)),
+		alive:  make([]bool, len(p.Vars)),
+		assign: make([]int, len(p.Vars)),
+	}
+	for i, v := range p.Vars {
+		s.unary[i] = append([]float64(nil), v.Unary...)
+		s.adj[i] = map[int]bool{}
+		s.alive[i] = true
+		s.assign[i] = -1
+	}
+	for _, e := range p.Edges {
+		s.addEdge(e.A, e.B, cloneMatrix(e.Cost))
+	}
+
+	for {
+		v, degree := s.pickReducible()
+		if v < 0 {
+			break
+		}
+		switch degree {
+		case 0:
+			s.reduceR0(v)
+		case 1:
+			s.reduceRI(v)
+		case 2:
+			s.reduceRII(v)
+		default:
+			s.reduceRN(v)
+		}
+	}
+
+	// Back-propagate in reverse reduction order.
+	for i := len(s.actions) - 1; i >= 0; i-- {
+		a := s.actions[i]
+		switch a.kind {
+		case 0, 3: // R0 and RN fixed their choice immediately
+			// already assigned
+		case 1:
+			s.assign[a.v] = a.decide1[s.assign[a.n1]]
+		case 2:
+			s.assign[a.v] = a.decide2[s.assign[a.n1]][s.assign[a.n2]]
+		}
+	}
+	return s.assign, p.Objective(s.assign)
+}
+
+func cloneMatrix(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = append([]float64(nil), m[i]...)
+	}
+	return out
+}
+
+func (s *pbqpSolver) addEdge(a, b int, cost [][]float64) {
+	// Merge with an existing (a,b) or (b,a) edge if present.
+	for id := range s.adj[a] {
+		e := s.edges[id]
+		if e.a == a && e.b == b {
+			for i := range cost {
+				for j := range cost[i] {
+					e.cost[i][j] += cost[i][j]
+				}
+			}
+			return
+		}
+		if e.a == b && e.b == a {
+			for i := range cost {
+				for j := range cost[i] {
+					e.cost[j][i] += cost[i][j]
+				}
+			}
+			return
+		}
+	}
+	id := s.nextID
+	s.nextID++
+	s.edges[id] = &pbqpEdge{a: a, b: b, cost: cost}
+	s.adj[a][id] = true
+	s.adj[b][id] = true
+}
+
+func (s *pbqpSolver) removeEdge(id int) {
+	e := s.edges[id]
+	delete(s.adj[e.a], id)
+	delete(s.adj[e.b], id)
+	delete(s.edges, id)
+}
+
+// pickReducible returns the best variable to reduce next: the lowest-degree
+// alive variable (ties broken by index for determinism), or (-1, 0) when
+// everything is reduced.
+func (s *pbqpSolver) pickReducible() (int, int) {
+	best, bestDeg := -1, math.MaxInt
+	for v := range s.unary {
+		if !s.alive[v] {
+			continue
+		}
+		d := len(s.adj[v])
+		if d < bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	if bestDeg <= 2 {
+		return best, bestDeg
+	}
+	// No cheap reduction available: RN on the highest-degree variable.
+	worst, worstDeg := best, bestDeg
+	for v := range s.unary {
+		if s.alive[v] && len(s.adj[v]) > worstDeg {
+			worst, worstDeg = v, len(s.adj[v])
+		}
+	}
+	return worst, worstDeg
+}
+
+func (s *pbqpSolver) reduceR0(v int) {
+	best, bestC := 0, math.Inf(1)
+	for j, c := range s.unary[v] {
+		if c < bestC {
+			best, bestC = j, c
+		}
+	}
+	s.assign[v] = best
+	s.alive[v] = false
+	s.actions = append(s.actions, pbqpAction{kind: 0, v: v})
+}
+
+// neighborCost returns the cost matrix of edge id oriented so rows index v's
+// candidates, plus the neighbor variable.
+func (s *pbqpSolver) neighborCost(id, v int) ([][]float64, int) {
+	e := s.edges[id]
+	if e.a == v {
+		return e.cost, e.b
+	}
+	// Transpose view.
+	t := make([][]float64, len(e.cost[0]))
+	for i := range t {
+		t[i] = make([]float64, len(e.cost))
+		for j := range e.cost {
+			t[i][j] = e.cost[j][i]
+		}
+	}
+	return t, e.a
+}
+
+func (s *pbqpSolver) reduceRI(v int) {
+	var id int
+	for eid := range s.adj[v] {
+		id = eid
+	}
+	cost, nbr := s.neighborCost(id, v)
+	decide := make([]int, len(s.unary[nbr]))
+	for k := range s.unary[nbr] {
+		bestJ, bestC := 0, math.Inf(1)
+		for j := range s.unary[v] {
+			c := s.unary[v][j] + cost[j][k]
+			if c < bestC {
+				bestJ, bestC = j, c
+			}
+		}
+		decide[k] = bestJ
+		s.unary[nbr][k] += bestC
+	}
+	s.removeEdge(id)
+	s.alive[v] = false
+	s.actions = append(s.actions, pbqpAction{kind: 1, v: v, n1: nbr, decide1: decide})
+}
+
+func (s *pbqpSolver) reduceRII(v int) {
+	ids := make([]int, 0, 2)
+	for eid := range s.adj[v] {
+		ids = append(ids, eid)
+	}
+	if ids[0] > ids[1] {
+		ids[0], ids[1] = ids[1], ids[0]
+	}
+	c1, n1 := s.neighborCost(ids[0], v)
+	c2, n2 := s.neighborCost(ids[1], v)
+	delta := make([][]float64, len(s.unary[n1]))
+	decide := make([][]int, len(s.unary[n1]))
+	for k1 := range s.unary[n1] {
+		delta[k1] = make([]float64, len(s.unary[n2]))
+		decide[k1] = make([]int, len(s.unary[n2]))
+		for k2 := range s.unary[n2] {
+			bestJ, bestC := 0, math.Inf(1)
+			for j := range s.unary[v] {
+				c := s.unary[v][j] + c1[j][k1] + c2[j][k2]
+				if c < bestC {
+					bestJ, bestC = j, c
+				}
+			}
+			delta[k1][k2] = bestC
+			decide[k1][k2] = bestJ
+		}
+	}
+	s.removeEdge(ids[0])
+	s.removeEdge(ids[1])
+	s.alive[v] = false
+	s.addEdge(n1, n2, delta)
+	s.actions = append(s.actions, pbqpAction{kind: 2, v: v, n1: n1, n2: n2, decide2: decide})
+}
+
+// reduceRN heuristically fixes a high-degree variable: pick the candidate
+// minimizing unary cost plus the optimistic (minimum over neighbor choices)
+// edge costs, then fold the now-constant edge costs into the neighbors.
+func (s *pbqpSolver) reduceRN(v int) {
+	bestJ, bestC := 0, math.Inf(1)
+	for j := range s.unary[v] {
+		c := s.unary[v][j]
+		for id := range s.adj[v] {
+			cost, nbr := s.neighborCost(id, v)
+			minEdge := math.Inf(1)
+			for k := range s.unary[nbr] {
+				if cost[j][k] < minEdge {
+					minEdge = cost[j][k]
+				}
+			}
+			c += minEdge
+		}
+		if c < bestC {
+			bestJ, bestC = j, c
+		}
+	}
+	s.assign[v] = bestJ
+	// Fold v's fixed row of each edge into the neighbor's unary vector.
+	ids := make([]int, 0, len(s.adj[v]))
+	for id := range s.adj[v] {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		cost, nbr := s.neighborCost(id, v)
+		for k := range s.unary[nbr] {
+			s.unary[nbr][k] += cost[bestJ][k]
+		}
+		s.removeEdge(id)
+	}
+	s.alive[v] = false
+	s.actions = append(s.actions, pbqpAction{kind: 3, v: v})
+}

@@ -1,0 +1,84 @@
+package search
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// Algorithm identifies which global solver produced a result.
+type Algorithm string
+
+const (
+	// AlgoDP is the exact dynamic program (Algorithm 2).
+	AlgoDP Algorithm = "dp"
+	// AlgoPBQP is the register-allocation-style approximation.
+	AlgoPBQP Algorithm = "pbqp"
+)
+
+// Options configures GlobalSearch.
+type Options struct {
+	// MaxCands caps candidate schemes per convolution (default 10).
+	MaxCands int
+	// Eval scores schedules during local search; nil uses the cost model.
+	Eval schedule.Evaluator
+	// DB memoizes local searches across models; nil allocates one.
+	DB *schedule.DB
+	// DPStateBudget bounds the DP frontier; exceeding it falls back to PBQP
+	// (the paper's 5-minute rule, made deterministic). Zero means 200000.
+	DPStateBudget int
+	// ForcePBQP skips DP entirely (used for SSD, matching the paper).
+	ForcePBQP bool
+	// Threads/Backend describe the deployment configuration the plan is
+	// optimized for (zero threads means 1 / serial).
+	Threads int
+	Backend machine.ThreadBackend
+}
+
+// Outcome reports the chosen plan and solver diagnostics.
+type Outcome struct {
+	Plan      graph.LayoutPlan
+	Algorithm Algorithm
+	// Cost is the objective value (predicted conv + transform seconds).
+	Cost float64
+	// Vars/Edges/States describe the extracted problem size.
+	Vars, Edges, States int
+	// Elapsed is the solver wall-clock time.
+	Elapsed time.Duration
+}
+
+// GlobalSearch runs the two-stage search of Section 3.3 over an optimized
+// graph: local search per convolution workload (memoized in opts.DB), then
+// the global scheme selection via DP with automatic PBQP fallback.
+func GlobalSearch(g *graph.Graph, t *machine.Target, opts Options) (*Outcome, error) {
+	p, err := BuildProblem(g, t, BuildOptions{
+		MaxCands: opts.MaxCands, Eval: opts.Eval, DB: opts.DB,
+		Threads: opts.Threads, Backend: opts.Backend,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("search: build problem: %w", err)
+	}
+	start := time.Now()
+	out := &Outcome{Vars: len(p.Vars), Edges: len(p.Edges), States: p.NumStates()}
+
+	if !opts.ForcePBQP {
+		assign, cost, err := DP(p, opts.DPStateBudget)
+		if err == nil {
+			out.Plan = p.Plan(assign)
+			out.Algorithm = AlgoDP
+			out.Cost = cost
+			out.Elapsed = time.Since(start)
+			return out, nil
+		}
+		// DP went intractable: fall through to the approximation.
+	}
+	assign, cost := PBQP(p)
+	out.Plan = p.Plan(assign)
+	out.Algorithm = AlgoPBQP
+	out.Cost = cost
+	out.Elapsed = time.Since(start)
+	return out, nil
+}

@@ -1,0 +1,225 @@
+// Package threadpool implements the two multi-threading runtimes compared in
+// Section 3.1.2 and Figure 4 of the paper:
+//
+//   - Pool is NeoCPU's customized thread pool: long-lived workers, static
+//     partitioning of the outermost loop into per-worker contiguous ranges,
+//     single-producer/single-consumer task handoff to each worker, an
+//     atomics-based spin join, and cache-line padding on the shared
+//     coordination state to avoid false sharing.
+//
+//   - OMPPool models an OpenMP parallel-for: a fresh team of workers is
+//     launched for every parallel region and joined through a central
+//     barrier, paying thread launch and suppression costs per region.
+//
+// Both satisfy the ops.ParallelFor contract via their ParallelFor methods.
+package threadpool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// task is one statically-partitioned slice of a parallel region.
+type task struct {
+	body       func(i int)
+	start, end int
+}
+
+// worker is one long-lived pool worker with its own SPSC task queue. The pad
+// fields keep each worker's hot state on distinct cache lines, mirroring the
+// paper's cache-line padding of the lock-free queues.
+type worker struct {
+	_     [64]byte
+	tasks chan task // SPSC: only the pool submits, only this worker receives
+	_     [64]byte
+}
+
+// Pool is the customized thread pool. The zero value is not usable; call
+// NewPool. The calling goroutine participates in every region as the first
+// "thread", so NewPool(n) creates n-1 workers.
+type Pool struct {
+	workers []*worker
+	// pending counts unfinished worker tasks of the current region; the
+	// submitter spin-joins on it (C++11-atomics style fork-join).
+	pending atomic.Int64
+	_       [64]byte
+	// panicVal records the first panic observed in a worker so it can be
+	// re-raised on the submitting goroutine.
+	panicVal atomic.Pointer[panicBox]
+	closed   atomic.Bool
+	mu       sync.Mutex // serializes ParallelFor submissions
+}
+
+// NewPool creates a pool that runs parallel regions over n threads (the
+// caller plus n-1 workers). Widths beyond GOMAXPROCS are allowed — like
+// OpenMP, the pool may be oversubscribed; it simply will not speed anything
+// up past the physical core count.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{}
+	p.workers = make([]*worker, n-1)
+	for i := range p.workers {
+		w := &worker{tasks: make(chan task, 1)}
+		p.workers[i] = w
+		go p.run(w)
+	}
+	return p
+}
+
+// Threads returns the region width (including the calling goroutine).
+func (p *Pool) Threads() int { return len(p.workers) + 1 }
+
+func (p *Pool) run(w *worker) {
+	for t := range w.tasks {
+		p.exec(t)
+		p.pending.Add(-1)
+	}
+}
+
+func (p *Pool) exec(t task) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicVal.CompareAndSwap(nil, &panicBox{r})
+		}
+	}()
+	for i := t.start; i < t.end; i++ {
+		t.body(i)
+	}
+}
+
+type panicBox struct{ v any }
+
+// ParallelFor runs body(i) for every i in [0, n), statically partitioned
+// into Threads() contiguous chunks (the paper: "we evenly divided the
+// outermost loop of the operation into N pieces to assign to N threads").
+// It returns when every index has been processed. A panic in any chunk is
+// re-raised on the caller after the region completes.
+func (p *Pool) ParallelFor(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.closed.Load() {
+		panic("threadpool: ParallelFor on closed Pool")
+	}
+	threads := p.Threads()
+	if threads == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	chunk := (n + threads - 1) / threads
+	// Hand each worker its contiguous range through its SPSC queue.
+	active := int64(0)
+	for w := 0; w < len(p.workers); w++ {
+		start := (w + 1) * chunk
+		if start >= n {
+			break
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		active++
+		p.pending.Add(1)
+		p.workers[w].tasks <- task{body: body, start: start, end: end}
+	}
+
+	// The caller executes chunk 0 itself.
+	first := chunk
+	if first > n {
+		first = n
+	}
+	p.exec(task{body: body, start: 0, end: first})
+
+	// Spin join: workers signal completion by decrementing the atomic
+	// counter; no locks or condition variables on the fast path.
+	for spins := 0; p.pending.Load() != 0; spins++ {
+		if spins < 64 {
+			continue // busy spin
+		}
+		runtime.Gosched()
+	}
+
+	if pv := p.panicVal.Swap(nil); pv != nil {
+		panic(fmt.Sprintf("threadpool: panic in parallel region: %v", pv.v))
+	}
+}
+
+// Close shuts down the workers. The pool must not be used afterwards.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	for _, w := range p.workers {
+		close(w.tasks)
+	}
+}
+
+// OMPPool models OpenMP's parallel-for execution: every region forks a fresh
+// team of goroutines and joins them through a central WaitGroup barrier.
+// Static scheduling with one contiguous chunk per thread matches the
+// environment-variable configuration used in the paper's comparison
+// (Section 4.2.4).
+type OMPPool struct {
+	threads int
+}
+
+// NewOMPPool creates an OpenMP-style runtime with the given team width.
+func NewOMPPool(n int) *OMPPool {
+	if n < 1 {
+		n = 1
+	}
+	return &OMPPool{threads: n}
+}
+
+// Threads returns the team width.
+func (o *OMPPool) Threads() int { return o.threads }
+
+// ParallelFor runs body over [0, n) with a freshly launched team, paying the
+// fork/join overhead that the custom pool avoids.
+func (o *OMPPool) ParallelFor(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if o.threads == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	chunk := (n + o.threads - 1) / o.threads
+	var wg sync.WaitGroup
+	for t := 0; t < o.threads; t++ {
+		start := t * chunk
+		if start >= n {
+			break
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			for i := start; i < end; i++ {
+				body(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// Serial runs body on the calling goroutine; it is the 1-thread backend.
+func Serial(n int, body func(i int)) {
+	for i := 0; i < n; i++ {
+		body(i)
+	}
+}
