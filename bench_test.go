@@ -14,6 +14,7 @@
 package repro
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"testing"
@@ -416,6 +417,78 @@ func BenchmarkEndToEnd(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkModuleRun and BenchmarkSessionRun compare the allocate-everything
+// Module.Run path against the arena-backed Session on the same compiled
+// model: the session's preallocated per-node buffers eliminate the per-call
+// feature-map allocations (watch B/op and allocs/op).
+func benchRunModule(b *testing.B) *core.Module {
+	b.Helper()
+	m, err := core.Compile(models.TinyResNet(1), machine.IntelSkylakeC5(),
+		core.Options{Level: core.OptTransformElim, Threads: 1, Backend: machine.BackendSerial})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkModuleRun(b *testing.B) {
+	m := benchRunModule(b)
+	defer m.Close()
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionRun(b *testing.B) {
+	m := benchRunModule(b)
+	defer m.Close()
+	s, err := m.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(1, 1)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionRunBatch measures the amortized per-image cost of batched
+// session execution (dispatch setup paid once per batch).
+func BenchmarkSessionRunBatch(b *testing.B) {
+	m := benchRunModule(b)
+	defer m.Close()
+	s, err := m.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 8
+	ins := make([]*tensor.Tensor, batch)
+	for i := range ins {
+		ins[i] = tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+		ins[i].FillRandom(uint64(i+1), 1)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunBatch(ctx, ins); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

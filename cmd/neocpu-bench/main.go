@@ -16,8 +16,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/pkg/neocpu"
 )
 
 func main() {
@@ -26,9 +26,9 @@ func main() {
 
 	runners := map[string]func() error{
 		"table1":   func() error { fmt.Println(report.Table1()); return nil },
-		"table2a":  func() error { return runTable2(machine.IntelSkylakeC5()) },
-		"table2b":  func() error { return runTable2(machine.AMDEpycM5a()) },
-		"table2c":  func() error { return runTable2(machine.ARMCortexA72()) },
+		"table2a":  func() error { return runTable2("intel-skylake") },
+		"table2b":  func() error { return runTable2("amd-epyc") },
+		"table2c":  func() error { return runTable2("arm-cortex-a72") },
 		"table3":   runTable3,
 		"figure4a": func() error { return runFigure4(0) },
 		"figure4b": func() error { return runFigure4(1) },
@@ -54,7 +54,11 @@ func main() {
 	}
 }
 
-func runTable2(t *machine.Target) error {
+func runTable2(targetName string) error {
+	t, err := neocpu.ParseTarget(targetName)
+	if err != nil {
+		return err
+	}
 	rows, err := report.Table2(t)
 	if err != nil {
 		return err

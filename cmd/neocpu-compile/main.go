@@ -13,69 +13,63 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
-	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/machine"
-	"repro/internal/models"
-	"repro/internal/search"
+	"repro/pkg/neocpu"
 )
 
 func main() {
 	model := flag.String("model", "resnet-50", "model name (see internal/models)")
-	targetName := flag.String("target", "intel-skylake", "intel-skylake|amd-epyc|arm-cortex-a72")
+	targetName := flag.String("target", "intel-skylake", strings.Join(neocpu.TargetNames(), "|"))
 	levelName := flag.String("level", "global-search", "baseline-nchw|layout-opt|transform-elim|global-search")
 	threads := flag.Int("threads", 0, "execution width (0 = all cores)")
 	showSchemes := flag.Bool("schemes", false, "print the chosen scheme per convolution")
 	savePlan := flag.String("saveplan", "", "write the chosen schemes to this JSON file (re-apply with core.CompileWithPlan)")
 	flag.Parse()
 
-	t, err := machine.TargetByName(*targetName)
-	if err != nil {
-		fatal(err)
-	}
-	level, err := parseLevel(*levelName)
-	if err != nil {
-		fatal(err)
-	}
-	spec, err := models.Get(*model)
+	level, err := neocpu.ParseLevel(*levelName)
 	if err != nil {
 		fatal(err)
 	}
 
-	g := models.MustBuild(*model, 1)
-	pre := g.ComputeStats()
-
-	opts := core.Options{Level: level, Threads: *threads, NoPrepack: true}
-	if level == core.OptGlobalSearch {
-		opts.Search = search.Options{MaxCands: 10, ForcePBQP: spec.UsePBQP}
-	}
-	m, err := core.Compile(g, t, opts)
+	// Compilation only: WithPredictOnly skips weight materialization, so even
+	// VGG-19 compiles in a few MB.
+	engine, err := neocpu.Compile(*model,
+		neocpu.WithTarget(*targetName),
+		neocpu.WithOptLevel(level),
+		neocpu.WithThreads(*threads),
+		neocpu.WithPredictOnly(),
+		// Match the candidate cap the report/baselines simulators use, so
+		// printed schemes and saved plans agree with the regenerated tables.
+		neocpu.WithSearch(neocpu.SearchOptions{MaxCands: 10}),
+	)
 	if err != nil {
 		fatal(err)
 	}
-	post := g.ComputeStats()
+	pre, post := engine.Stats()
+	g := engine.Graph()
+	in := engine.InputShape()
 
-	fmt.Printf("model:    %s (%s input %dx%dx%d)\n", spec.Display, *model, spec.InputC, spec.InputH, spec.InputW)
-	fmt.Printf("target:   %s\n", t)
-	fmt.Printf("level:    %v\n", level)
+	fmt.Printf("model:    %s (input %dx%dx%d)\n", *model, in[1], in[2], in[3])
+	fmt.Printf("target:   %s\n", engine.Target())
+	fmt.Printf("level:    %v\n", engine.Level())
 	fmt.Printf("graph:    %d nodes -> %d nodes after passes (%d convs, %.2f GFLOPs, %.1fM params)\n",
 		pre.Nodes, post.Nodes, post.Convs, post.FLOPs/1e9, float64(post.Params)/1e6)
 	fmt.Printf("layout:   %d transform nodes survive (%d physically free)\n",
-		g.CountTransforms(), g.CountTransforms()-m.TransformCount())
-	if m.Search != nil {
+		g.CountTransforms(), g.CountTransforms()-engine.TransformCount())
+	if s, ok := engine.SearchStats(); ok {
 		fmt.Printf("search:   %s over %d convs, %d edges, %d candidate states in %v\n",
-			m.Search.Algorithm, m.Search.Vars, m.Search.Edges, m.Search.States, m.Search.Elapsed.Round(1000))
+			s.Algorithm, s.Vars, s.Edges, s.States, s.Elapsed.Round(1000))
 	}
-	lat := m.PredictLatency(core.PredictConfig{})
-	fmt.Printf("latency:  %.2f ms predicted on %d cores (%v)\n", lat*1000, m.Threads(), m.Backend())
+	fmt.Printf("latency:  %.2f ms predicted on %d cores\n", engine.PredictLatency()*1000, engine.Threads())
 
 	if *savePlan != "" {
 		f, err := os.Create(*savePlan)
 		if err != nil {
 			fatal(err)
 		}
-		if err := m.SavePlan(f); err != nil {
+		if err := engine.SavePlan(f); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -93,15 +87,6 @@ func main() {
 			fmt.Printf("  %-10s %-40s %v\n", n.Name, wl.Key(), n.Sched)
 		}
 	}
-}
-
-func parseLevel(s string) (core.OptLevel, error) {
-	for _, l := range []core.OptLevel{core.OptNone, core.OptLayout, core.OptTransformElim, core.OptGlobalSearch} {
-		if l.String() == s {
-			return l, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown level %q", s)
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +20,8 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/machine"
-	"repro/internal/models"
-	"repro/internal/search"
 	"repro/internal/tensor"
+	"repro/pkg/neocpu"
 )
 
 func main() {
@@ -36,48 +34,45 @@ func main() {
 	int8Mode := flag.Bool("int8", false, "run quantized INT8 inference")
 	flag.Parse()
 
-	spec, err := models.Get(*model)
+	level, err := neocpu.ParseLevel(*levelName)
 	if err != nil {
 		fatal(err)
 	}
-	var level core.OptLevel
-	switch *levelName {
-	case "baseline-nchw":
-		level = core.OptNone
-	case "layout-opt":
-		level = core.OptLayout
-	case "transform-elim":
-		level = core.OptTransformElim
-	case "global-search":
-		level = core.OptGlobalSearch
-	default:
-		fatal(fmt.Errorf("unknown level %q", *levelName))
+	opts := []neocpu.Option{
+		neocpu.WithOptLevel(level),
+		neocpu.WithThreads(*threads),
+	}
+	if *int8Mode {
+		opts = append(opts, neocpu.WithInt8())
 	}
 
-	// Compile against the Skylake descriptor: the schedule search needs a
-	// machine model even though execution happens on the host.
-	t := machine.IntelSkylakeC5()
-	opts := core.Options{Level: level, Threads: *threads, Backend: machine.BackendPool, Int8: *int8Mode}
-	if level == core.OptGlobalSearch {
-		opts.Search = search.Options{MaxCands: 8, ForcePBQP: spec.UsePBQP}
-	}
-	fmt.Printf("compiling %s at %v...\n", spec.Display, level)
+	// Compilation targets the Skylake descriptor by default: the schedule
+	// search needs a machine model even though execution happens on the host.
+	fmt.Printf("compiling %s at %v...\n", *model, level)
 	start := time.Now()
-	m, err := core.Compile(models.MustBuild(*model, 1), t, opts)
+	engine, err := neocpu.Compile(*model, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	defer m.Close()
+	defer engine.Close()
 	fmt.Printf("compiled in %v\n", time.Since(start).Round(time.Millisecond))
 
-	in := tensor.New(tensor.NCHW(), 1, spec.InputC, spec.InputH, spec.InputW)
+	in := engine.NewInput()
 	in.FillRandom(*seed, 1)
+
+	// A session reuses its tensor arena across the timed runs, so the
+	// steady-state numbers measure kernels, not the allocator.
+	sess, err := engine.NewSession()
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
 
 	var outs []*tensor.Tensor
 	var best time.Duration
 	for i := 0; i < *runs; i++ {
 		s := time.Now()
-		outs, err = m.Run(in)
+		outs, err = sess.Run(ctx, in)
 		if err != nil {
 			fatal(err)
 		}
@@ -90,7 +85,7 @@ func main() {
 	fmt.Printf("best of %d runs: %v on %d host threads\n", *runs, best.Round(time.Microsecond), *threads)
 
 	if *profile {
-		_, prof, err := m.RunProfiled(in)
+		_, prof, err := engine.RunProfiled(in)
 		if err != nil {
 			fatal(err)
 		}

@@ -6,56 +6,53 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
 	"sort"
 
-	"repro/internal/core"
-	"repro/internal/machine"
-	"repro/internal/models"
-	"repro/internal/search"
 	"repro/internal/tensor"
+	"repro/pkg/neocpu"
 )
 
 func main() {
-	target := machine.IntelSkylakeC5()
-
 	// A fake 224x224 RGB frame, ImageNet-style normalized.
 	frame := tensor.New(tensor.NCHW(), 1, 3, 224, 224)
 	frame.FillRandom(123, 1)
 	normalize(frame)
 
 	type result struct {
-		level core.OptLevel
+		level neocpu.Level
 		ms    float64
 		top5  []int
 	}
 	var results []result
-	for _, level := range []core.OptLevel{
-		core.OptNone, core.OptLayout, core.OptTransformElim, core.OptGlobalSearch,
-	} {
-		g := models.MustBuild("resnet-50", 42)
-		opts := core.Options{Level: level, Threads: runtime.GOMAXPROCS(0)}
-		if level == core.OptGlobalSearch {
-			opts.Search = search.Options{MaxCands: 8}
-		}
-		mod, err := core.Compile(g, target, opts)
+	for _, level := range neocpu.Levels() {
+		engine, err := neocpu.Compile("resnet-50",
+			neocpu.WithOptLevel(level),
+			neocpu.WithThreads(runtime.GOMAXPROCS(0)),
+			neocpu.WithSeed(42), // identical weights at every level
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		outs, err := mod.Run(frame)
+		sess, err := engine.NewSession()
+		if err != nil {
+			log.Fatal(err)
+		}
+		outs, err := sess.Run(context.Background(), frame)
 		if err != nil {
 			log.Fatal(err)
 		}
 		results = append(results, result{
 			level: level,
-			ms:    mod.PredictLatency(core.PredictConfig{}) * 1000,
+			ms:    engine.PredictLatency() * 1000,
 			top5:  top5(outs[0]),
 		})
-		mod.Close()
+		engine.Close()
 		fmt.Printf("%-16v predicted %7.2f ms on %s, top-5 %v\n",
-			level, results[len(results)-1].ms, target.Name, results[len(results)-1].top5)
+			level, results[len(results)-1].ms, engine.Target().Name, results[len(results)-1].top5)
 	}
 
 	// The optimizations must not change the answer (Section 4's sanity

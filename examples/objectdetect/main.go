@@ -1,24 +1,24 @@
 // Object detection with a compact SSD: a multi-scale detector with the same
 // head structure as the paper's SSD-ResNet-50 (class/location convolutions
 // per scale feeding multibox decoding and NMS), sized so the pure-Go kernels
-// run in a second. The global search for SSD-shaped graphs uses the PBQP
-// approximation, as in the paper.
+// run in a second. The custom graph compiles through neocpu.CompileGraph;
+// the global search for SSD-shaped graphs uses the PBQP approximation, as in
+// the paper.
 //
 //	go run ./examples/objectdetect
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/machine"
 	"repro/internal/ops"
-	"repro/internal/search"
 	"repro/internal/tensor"
+	"repro/pkg/neocpu"
 )
 
 const numClasses = 20
@@ -56,24 +56,28 @@ func buildCompactSSD() *graph.Graph {
 }
 
 func main() {
-	g := buildCompactSSD()
-	target := machine.IntelSkylakeC5()
-	mod, err := core.Compile(g, target, core.Options{
-		Level:   core.OptGlobalSearch,
-		Threads: runtime.GOMAXPROCS(0),
-		Search:  search.Options{MaxCands: 8, ForcePBQP: true},
-	})
+	engine, err := neocpu.CompileGraph(buildCompactSSD(),
+		neocpu.WithTarget("intel-skylake"),
+		neocpu.WithOptLevel(neocpu.LevelGlobalSearch),
+		neocpu.WithThreads(runtime.GOMAXPROCS(0)),
+		neocpu.WithSearch(neocpu.SearchOptions{MaxCands: 8, ForcePBQP: true}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer mod.Close()
-	fmt.Printf("compiled %s: global search used %s over %d convs\n",
-		g.Name, mod.Search.Algorithm, mod.Search.Vars)
+	defer engine.Close()
+	if s, ok := engine.SearchStats(); ok {
+		fmt.Printf("compiled compact-ssd: global search used %s over %d convs\n", s.Algorithm, s.Vars)
+	}
 
 	img := tensor.New(tensor.NCHW(), 1, 3, 128, 128)
 	img.FillRandom(9, 1)
+	sess, err := engine.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
-	outs, err := mod.Run(img)
+	outs, err := sess.Run(context.Background(), img)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,5 +91,22 @@ func main() {
 		row := dets.Data[i*6 : (i+1)*6]
 		fmt.Printf("  class=%2.0f score=%.3f box=(%.2f, %.2f)-(%.2f, %.2f)\n",
 			row[0], row[1], row[2], row[3], row[4], row[5])
+	}
+
+	// Batched detection over a short "clip": RunBatch amortizes dispatch and
+	// reuses the arena across frames, returning deep copies per frame.
+	frames := make([]*tensor.Tensor, 4)
+	for i := range frames {
+		frames[i] = tensor.New(tensor.NCHW(), 1, 3, 128, 128)
+		frames[i].FillRandom(uint64(100+i), 1)
+	}
+	start = time.Now()
+	batch, err := sess.RunBatch(context.Background(), frames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbatch of %d frames in %v:\n", len(frames), time.Since(start).Round(time.Millisecond))
+	for i, outs := range batch {
+		fmt.Printf("  frame %d: %d detections\n", i, outs[0].Shape[1])
 	}
 }

@@ -1,40 +1,41 @@
 // Quickstart: compile ResNet-18 with the full NeoCPU optimization pipeline
-// and run one inference on a synthetic image.
+// through the public pkg/neocpu API and run one inference on a synthetic
+// image.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
 
-	"repro/internal/core"
-	"repro/internal/machine"
-	"repro/internal/models"
-	"repro/internal/tensor"
+	"repro/pkg/neocpu"
 )
 
 func main() {
-	// 1. Build the model graph (synthetic seeded weights).
-	g := models.MustBuild("resnet-18", 42)
-
-	// 2. Compile for a CPU target. The target drives the schedule search;
+	// 1. Compile for a CPU target. The target drives the schedule search;
 	//    execution happens on the host with however many threads you ask for.
-	target := machine.IntelSkylakeC5()
-	mod, err := core.Compile(g, target, core.Options{
-		Level:   core.OptGlobalSearch,
-		Threads: runtime.GOMAXPROCS(0),
-	})
+	engine, err := neocpu.Compile("resnet-18",
+		neocpu.WithTarget("intel-skylake"),
+		neocpu.WithOptLevel(neocpu.LevelGlobalSearch),
+		neocpu.WithThreads(runtime.GOMAXPROCS(0)),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer mod.Close()
+	defer engine.Close()
 
-	// 3. Run an inference.
-	img := tensor.New(tensor.NCHW(), 1, 3, 224, 224)
+	// 2. Run an inference through a session (reusable arena; create one per
+	//    goroutine when serving concurrently).
+	sess, err := engine.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	img := engine.NewInput()
 	img.FillRandom(7, 1)
-	outs, err := mod.Run(img)
+	outs, err := sess.Run(context.Background(), img)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,9 +47,10 @@ func main() {
 			bestClass, bestP = i, p
 		}
 	}
-	fmt.Printf("compiled %s with %v: %d convolutions, %d layout transforms survive\n",
-		g.Name, mod.Level, len(g.Convs()), mod.TransformCount())
+	_, stats := engine.Stats()
+	fmt.Printf("compiled resnet-18 with %v: %d convolutions, %d layout transforms survive\n",
+		engine.Level(), stats.Convs, engine.TransformCount())
 	fmt.Printf("predicted latency on %s: %.2f ms\n",
-		target.Name, mod.PredictLatency(core.PredictConfig{})*1000)
+		engine.Target().Name, engine.PredictLatency()*1000)
 	fmt.Printf("top class: %d (p=%.4f)\n", bestClass, bestP)
 }

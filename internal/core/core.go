@@ -25,6 +25,7 @@ import (
 	"repro/internal/schedule"
 	"repro/internal/search"
 	"repro/internal/tensor"
+	"repro/internal/threadpool"
 )
 
 // OptLevel selects how far the layout optimizations go (Table 3).
@@ -92,7 +93,8 @@ type Options struct {
 }
 
 // Compile lowers the graph for the target. It takes ownership of g: passes
-// rewrite it in place.
+// rewrite it in place. Executable modules (without NoPrepack) construct
+// their thread pool here, so they must be Closed when no longer needed.
 func Compile(g *graph.Graph, t *machine.Target, opts Options) (*Module, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -249,5 +251,20 @@ func finalizeModule(g *graph.Graph, t *machine.Target, level OptLevel, searchOut
 		}
 	}
 	m.program = g.Topo()
+	m.slot = make(map[*graph.Node]int, len(m.program))
+	for i, n := range m.program {
+		m.slot[n] = i
+	}
+	// Construct the threading runtime now rather than lazily on first Run:
+	// concurrent Sessions share one module, and a lazy first-use init would
+	// race. Prediction-only modules never execute, so they skip it.
+	if !opts.NoPrepack {
+		switch m.backend {
+		case machine.BackendPool:
+			m.pool = threadpool.NewPool(m.threads)
+		case machine.BackendOMP:
+			m.omp = threadpool.NewOMPPool(m.threads)
+		}
+	}
 	return m, nil
 }

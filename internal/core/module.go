@@ -16,6 +16,12 @@ import (
 // Module is a compiled model: the optimized graph, the pre-transformed
 // parameters, and the threading runtime. It is the NeoCPU "standalone module
 // with minimal size" — executing it requires nothing beyond this package.
+//
+// A Module is safe for concurrent read-only use once compiled: its weights,
+// program and threading runtime are all finalized at compile time (the
+// runtime is constructed in finalizeModule precisely so that concurrent
+// Sessions never race on lazy initialization). Run allocates fresh buffers
+// per call; NewSession returns an execution context with a reusable arena.
 type Module struct {
 	Graph  *graph.Graph
 	Target *machine.Target
@@ -31,6 +37,8 @@ type Module struct {
 	threads int
 	backend machine.ThreadBackend
 	program []*graph.Node
+	// slot maps every program node to its index in per-run value tables.
+	slot map[*graph.Node]int
 	// packed holds the compile-time pre-transformed OIHW[x]i[y]o weights.
 	packed map[*graph.Node]*tensor.Tensor
 	// qpacked holds the quantized pre-transformed weights (Int8 modules).
@@ -48,70 +56,123 @@ func (m *Module) Threads() int { return m.threads }
 // Backend returns the configured threading runtime.
 func (m *Module) Backend() machine.ThreadBackend { return m.backend }
 
-// parallelFor lazily constructs the threading runtime.
+// PredictOnly reports whether the module was compiled with NoPrepack and can
+// only PredictLatency, not execute.
+func (m *Module) PredictOnly() bool { return m.noPrepack }
+
+// parallelFor returns the threading runtime constructed at compile time.
+// After Close (or on prediction-only modules) it degrades to serial
+// execution.
 func (m *Module) parallelFor() ops.ParallelFor {
-	switch m.backend {
-	case machine.BackendPool:
-		if m.pool == nil {
-			m.pool = threadpool.NewPool(m.threads)
-		}
+	switch {
+	case m.pool != nil:
 		return m.pool.ParallelFor
-	case machine.BackendOMP:
-		if m.omp == nil {
-			m.omp = threadpool.NewOMPPool(m.threads)
-		}
+	case m.omp != nil:
 		return m.omp.ParallelFor
 	default:
 		return threadpool.Serial
 	}
 }
 
-// Close releases the thread pool. The module remains usable; a subsequent
-// Run recreates the pool.
+// Close releases the threading runtime (both the custom pool and the
+// OMP-style runtime). The module remains usable; subsequent runs execute
+// serially. Close must not race with in-flight Run/Session.Run calls.
 func (m *Module) Close() {
 	if m.pool != nil {
 		m.pool.Close()
 		m.pool = nil
 	}
+	if m.omp != nil {
+		m.omp.Close()
+		m.omp = nil
+	}
+}
+
+// checkInput validates a batch input against the compiled graph.
+func (m *Module) checkInput(input *tensor.Tensor) error {
+	if m.noPrepack {
+		return fmt.Errorf("core: module was compiled with NoPrepack (prediction-only); recompile without it to execute")
+	}
+	in := m.Graph.Input.OutShape
+	if input.Layout.Kind != tensor.LayoutNCHW || len(input.Shape) != 4 {
+		return fmt.Errorf("core: input must be NCHW rank-4, got %v %v", input.Layout, input.Shape)
+	}
+	for i, d := range in.Dims {
+		if input.Shape[i] != d {
+			return fmt.Errorf("core: input shape %v, want %v", input.Shape, in.Dims)
+		}
+	}
+	return nil
 }
 
 // Run executes the model on one NCHW input image and returns the outputs in
 // graph-output order. Classification models return (1, classes)
 // probabilities; SSD returns a (1, numDetections, 6) tensor whose rows are
 // (class, score, xmin, ymin, xmax, ymax).
+//
+// Run allocates every intermediate per call. For repeated or concurrent
+// inference prefer NewSession, whose preallocated arena makes steady-state
+// execution allocation-free.
 func (m *Module) Run(input *tensor.Tensor) ([]*tensor.Tensor, error) {
-	if m.noPrepack {
-		return nil, fmt.Errorf("core: module was compiled with NoPrepack (prediction-only); recompile without it to execute")
-	}
-	in := m.Graph.Input.OutShape
-	want := []int{in.Dims[0], in.Dims[1], in.Dims[2], in.Dims[3]}
-	if input.Layout.Kind != tensor.LayoutNCHW || len(input.Shape) != 4 {
-		return nil, fmt.Errorf("core: input must be NCHW rank-4, got %v %v", input.Layout, input.Shape)
-	}
-	for i, d := range want {
-		if input.Shape[i] != d {
-			return nil, fmt.Errorf("core: input shape %v, want %v", input.Shape, want)
-		}
+	if err := m.checkInput(input); err != nil {
+		return nil, err
 	}
 	pf := m.parallelFor()
-
-	env := make(map[*graph.Node]*tensor.Tensor, len(m.program))
-	for _, n := range m.program {
-		out, err := m.exec(n, env, input, pf)
+	vals := make([]*tensor.Tensor, len(m.program))
+	for i, n := range m.program {
+		out, err := m.exec(n, vals, input, pf, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: executing %v: %w", n, err)
 		}
-		env[n] = out
+		vals[i] = out
 	}
 	outs := make([]*tensor.Tensor, len(m.Graph.Outputs))
 	for i, o := range m.Graph.Outputs {
-		outs[i] = env[o]
+		outs[i] = vals[m.slot[o]]
 	}
 	return outs, nil
 }
 
-func (m *Module) exec(n *graph.Node, env map[*graph.Node]*tensor.Tensor, input *tensor.Tensor, pf ops.ParallelFor) (*tensor.Tensor, error) {
-	arg := func(i int) *tensor.Tensor { return env[n.Inputs[i]] }
+// nodeBuffers carries one node's preallocated arena slots for a Session run.
+// A nil *nodeBuffers (Module.Run's allocating path) means "allocate fresh".
+type nodeBuffers struct {
+	// out receives the node's output (nil for data-dependent outputs such
+	// as the SSD head, and for aliasing nodes).
+	out *tensor.Tensor
+	// pad is the blocked convolution's explicit-padding scratch.
+	pad *tensor.Tensor
+	// scratch is the two-hop layout transform's NCHW intermediate.
+	scratch *tensor.Tensor
+	// concat is the reused operand slice for concat nodes.
+	concat []*tensor.Tensor
+}
+
+func (b *nodeBuffers) outT() *tensor.Tensor {
+	if b == nil {
+		return nil
+	}
+	return b.out
+}
+
+func (b *nodeBuffers) padT() *tensor.Tensor {
+	if b == nil {
+		return nil
+	}
+	return b.pad
+}
+
+func (b *nodeBuffers) scratchT() *tensor.Tensor {
+	if b == nil {
+		return nil
+	}
+	return b.scratch
+}
+
+// exec runs one node. vals is the slot-indexed value table for the current
+// inference; buf, when non-nil, provides the destination buffers of a
+// Session arena.
+func (m *Module) exec(n *graph.Node, vals []*tensor.Tensor, input *tensor.Tensor, pf ops.ParallelFor, buf *nodeBuffers) (*tensor.Tensor, error) {
+	arg := func(i int) *tensor.Tensor { return vals[m.slot[n.Inputs[i]]] }
 	switch n.Op {
 	case graph.OpInput:
 		return input, nil
@@ -119,7 +180,7 @@ func (m *Module) exec(n *graph.Node, env map[*graph.Node]*tensor.Tensor, input *
 	case graph.OpConv2D:
 		epi := ops.Epilogue{Bias: n.Bias, ReLU: n.FusedReLU}
 		if n.FusedResidual != nil {
-			epi.Residual = env[n.FusedResidual]
+			epi.Residual = vals[m.slot[n.FusedResidual]]
 		}
 		switch n.Sched.Layout.Kind {
 		case tensor.LayoutNCHWc:
@@ -128,45 +189,50 @@ func (m *Module) exec(n *graph.Node, env map[*graph.Node]*tensor.Tensor, input *
 				// scale from this activation's max-abs, then the int32-
 				// accumulating blocked kernel with fused rescale.
 				qin := quant.Quantize(arg(0))
-				return quant.Conv2DInt8NCHWc(qin, m.qpacked[n], n.Conv,
+				return quant.Conv2DInt8NCHWcInto(buf.outT(), qin, m.qpacked[n], n.Conv,
 					n.Sched.ICBlock, n.Sched.OCBlock, n.Sched.RegN, epi, pf), nil
 			}
-			return ops.Conv2DNCHWc(arg(0), m.packed[n], n.Conv,
+			return ops.Conv2DNCHWcInto(buf.outT(), buf.padT(), arg(0), m.packed[n], n.Conv,
 				n.Sched.ICBlock, n.Sched.OCBlock, n.Sched.RegN, n.Sched.UnrollKer, epi, pf), nil
 		case tensor.LayoutNHWC:
-			return ops.Conv2DNHWC(arg(0), n.Weight, n.Conv, epi, pf), nil
+			return ops.Conv2DNHWCInto(buf.outT(), arg(0), n.Weight, n.Conv, epi, pf), nil
 		default:
-			return ops.Conv2DNCHW(arg(0), n.Weight, n.Conv, epi, pf), nil
+			return ops.Conv2DNCHWInto(buf.outT(), arg(0), n.Weight, n.Conv, epi, pf), nil
 		}
 
 	case graph.OpBatchNorm:
-		return ops.BatchNormInference(arg(0), n.BN, pf), nil
+		return ops.BatchNormInferenceInto(buf.outT(), arg(0), n.BN, pf), nil
 	case graph.OpReLU:
-		return ops.ReLU(arg(0), pf), nil
+		return ops.ReLUInto(buf.outT(), arg(0), pf), nil
 	case graph.OpDropout:
 		return arg(0), nil
 	case graph.OpPool:
-		return ops.Pool2D(arg(0), n.Pool, pf), nil
+		return ops.Pool2DInto(buf.outT(), arg(0), n.Pool, pf), nil
 	case graph.OpGlobalAvgPool:
-		return ops.GlobalAvgPool(arg(0), pf), nil
+		return ops.GlobalAvgPoolInto(buf.outT(), arg(0), pf), nil
 	case graph.OpAdd:
-		return ops.Add(arg(0), arg(1), pf), nil
+		return ops.AddInto(buf.outT(), arg(0), arg(1), pf), nil
 	case graph.OpConcat:
-		ins := make([]*tensor.Tensor, len(n.Inputs))
+		var ins []*tensor.Tensor
+		if buf != nil && buf.concat != nil {
+			ins = buf.concat
+		} else {
+			ins = make([]*tensor.Tensor, len(n.Inputs))
+		}
 		for i := range n.Inputs {
 			ins[i] = arg(i)
 		}
-		return ops.Concat(ins, pf), nil
+		return ops.ConcatInto(buf.outT(), ins, pf), nil
 	case graph.OpFlatten:
-		return ops.Flatten(arg(0)), nil
+		return ops.FlattenInto(buf.outT(), arg(0)), nil
 	case graph.OpDense:
-		return ops.Dense(arg(0), n.Weight, n.Bias, false, pf), nil
+		return ops.DenseInto(buf.outT(), arg(0), n.Weight, n.Bias, false, pf), nil
 	case graph.OpSoftmax:
-		return ops.Softmax(arg(0)), nil
+		return ops.SoftmaxInto(buf.outT(), arg(0)), nil
 	case graph.OpLayoutTransform:
-		return tensor.Transform(arg(0), n.Transform), nil
+		return tensor.TransformInto(buf.outT(), buf.scratchT(), arg(0), n.Transform), nil
 	case graph.OpSSDHead:
-		return m.execSSDHead(n, env)
+		return m.execSSDHead(n, vals)
 	}
 	return nil, fmt.Errorf("unsupported op %v", n.Op)
 }
@@ -188,8 +254,10 @@ func buildAnchors(n *graph.Node) *tensor.Tensor {
 
 // execSSDHead gathers the per-scale class/location convolution outputs,
 // rearranges them into per-anchor order, applies softmax over classes, and
-// decodes+NMSes via MultiBoxDetection.
-func (m *Module) execSSDHead(n *graph.Node, env map[*graph.Node]*tensor.Tensor) (*tensor.Tensor, error) {
+// decodes+NMSes via MultiBoxDetection. Its output size depends on how many
+// detections survive NMS, so this node always allocates (sessions leave its
+// arena slot empty).
+func (m *Module) execSSDHead(n *graph.Node, vals []*tensor.Tensor) (*tensor.Tensor, error) {
 	numClasses := n.SSD.NumClasses
 	anchorsT := m.anchors[n]
 	numAnchors := anchorsT.Shape[1]
@@ -199,8 +267,8 @@ func (m *Module) execSSDHead(n *graph.Node, env map[*graph.Node]*tensor.Tensor) 
 
 	base := 0
 	for i := 0; i < len(n.Inputs); i += 2 {
-		cls := env[n.Inputs[i]]
-		loc := env[n.Inputs[i+1]]
+		cls := vals[m.slot[n.Inputs[i]]]
+		loc := vals[m.slot[n.Inputs[i+1]]]
 		if cls.Layout.Kind != tensor.LayoutNCHW || loc.Layout.Kind != tensor.LayoutNCHW {
 			return nil, fmt.Errorf("ssd head requires NCHW inputs, got %v/%v", cls.Layout, loc.Layout)
 		}

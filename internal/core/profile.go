@@ -76,35 +76,26 @@ func (p *Profile) String() string {
 // It returns the outputs and the profile. Instrumentation adds one clock
 // read per node, so profiled latency slightly exceeds Run latency.
 func (m *Module) RunProfiled(input *tensor.Tensor) ([]*tensor.Tensor, *Profile, error) {
-	if m.noPrepack {
-		return nil, nil, fmt.Errorf("core: module was compiled with NoPrepack (prediction-only); recompile without it to execute")
-	}
-	in := m.Graph.Input.OutShape
-	if input.Layout.Kind != tensor.LayoutNCHW || len(input.Shape) != 4 {
-		return nil, nil, fmt.Errorf("core: input must be NCHW rank-4, got %v %v", input.Layout, input.Shape)
-	}
-	for i, d := range in.Dims {
-		if input.Shape[i] != d {
-			return nil, nil, fmt.Errorf("core: input shape %v, want %v", input.Shape, in.Dims)
-		}
+	if err := m.checkInput(input); err != nil {
+		return nil, nil, err
 	}
 	pf := m.parallelFor()
 	prof := &Profile{Timings: make([]OpTiming, 0, len(m.program))}
-	env := make(map[*graph.Node]*tensor.Tensor, len(m.program))
+	vals := make([]*tensor.Tensor, len(m.program))
 	start := time.Now()
-	for _, n := range m.program {
+	for i, n := range m.program {
 		opStart := time.Now()
-		out, err := m.exec(n, env, input, pf)
+		out, err := m.exec(n, vals, input, pf, nil)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: executing %v: %w", n, err)
 		}
-		env[n] = out
+		vals[i] = out
 		prof.Timings = append(prof.Timings, OpTiming{Node: n, Elapsed: time.Since(opStart)})
 	}
 	prof.Total = time.Since(start)
 	outs := make([]*tensor.Tensor, len(m.Graph.Outputs))
 	for i, o := range m.Graph.Outputs {
-		outs[i] = env[o]
+		outs[i] = vals[m.slot[o]]
 	}
 	return outs, prof, nil
 }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Session is a reusable execution context over a compiled Module. It owns a
+// per-node tensor arena: every operator's output buffer (plus the padding and
+// transform scratch the kernels need) is allocated once at session creation,
+// sized from the compiled graph's shapes, and reused across calls — so
+// steady-state Run performs no per-node allocation.
+//
+// A Session is NOT safe for concurrent use: it is a single execution lane.
+// The Module it came from IS safe to share — weights, packed parameters and
+// the threading runtime are finalized at compile time and only read here —
+// so concurrent inference over one model is one Session per goroutine:
+//
+//	m, _ := core.Compile(g, target, opts)
+//	for i := 0; i < workers; i++ {
+//		go func() {
+//			s, _ := m.NewSession()
+//			for job := range jobs {
+//				outs, _ := s.Run(ctx, job)
+//				...
+//			}
+//		}()
+//	}
+//
+// Threading note: with BackendPool (or BackendOMP), the module's kernel
+// parallel regions are serialized across sessions — the shared pool runs one
+// region at a time, so a wide pool minimizes single-request latency but adds
+// no cross-session throughput. Throughput-oriented servers should compile
+// with Threads=1/BackendSerial: each session then runs its whole inference
+// on its own goroutine, and N sessions genuinely occupy N cores.
+type Session struct {
+	m    *Module
+	vals []*tensor.Tensor
+	bufs []nodeBuffers
+	outs []*tensor.Tensor
+}
+
+// NewSession creates an execution context with a freshly allocated arena.
+// Prediction-only (NoPrepack) modules cannot execute and return an error.
+func (m *Module) NewSession() (*Session, error) {
+	if m.noPrepack {
+		return nil, fmt.Errorf("core: module was compiled with NoPrepack (prediction-only); recompile without it to execute")
+	}
+	s := &Session{
+		m:    m,
+		vals: make([]*tensor.Tensor, len(m.program)),
+		bufs: make([]nodeBuffers, len(m.program)),
+		outs: make([]*tensor.Tensor, len(m.Graph.Outputs)),
+	}
+	for i, n := range m.program {
+		s.bufs[i] = m.arenaFor(n)
+	}
+	return s, nil
+}
+
+// arenaFor sizes one node's arena buffers from the compiled shapes
+// (OutShape + OutLayout). Nodes whose output is an alias (input, dropout) or
+// data-dependent (SSD head) get no buffer and keep allocating per call.
+func (m *Module) arenaFor(n *graph.Node) nodeBuffers {
+	var b nodeBuffers
+	switch n.Op {
+	case graph.OpInput, graph.OpDropout, graph.OpSSDHead:
+		return b
+	case graph.OpConcat:
+		b.concat = make([]*tensor.Tensor, len(n.Inputs))
+	case graph.OpConv2D:
+		if n.Sched.Layout.Kind == tensor.LayoutNCHWc && !m.Int8 {
+			in := n.Inputs[0]
+			physIn := physicalDims(in.OutShape, in.OutLayout)
+			if pad := ops.PaddedShapeNCHWc(physIn, n.Conv); pad != nil {
+				b.pad = tensor.New(in.OutLayout, pad...)
+			}
+		}
+	case graph.OpLayoutTransform:
+		if tensor.NeedsTransformScratch(n.Inputs[0].OutLayout, n.Transform) {
+			b.scratch = tensor.New(tensor.NCHW(), n.OutShape.Dims...)
+		}
+	}
+	b.out = tensor.New(n.OutLayout, physicalDims(n.OutShape, n.OutLayout)...)
+	return b
+}
+
+// physicalDims converts a logical output shape plus its assigned physical
+// layout into concrete buffer dimensions.
+func physicalDims(shape graph.Shape, l tensor.Layout) []int {
+	switch l.Kind {
+	case tensor.LayoutNCHW, tensor.LayoutNHWC, tensor.LayoutNCHWc:
+		as := tensor.ActivationShape{N: shape.Dims[0], C: shape.Dims[1], H: shape.Dims[2], W: shape.Dims[3]}
+		return as.PhysicalShape(l)
+	default:
+		// Flat (and any rank-2) outputs store exactly their logical dims.
+		return shape.Dims
+	}
+}
+
+// run executes one inference into the arena, checking ctx between nodes.
+func (s *Session) run(ctx context.Context, input *tensor.Tensor, pf ops.ParallelFor) error {
+	m := s.m
+	for i, n := range m.program {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		out, err := m.exec(n, s.vals, input, pf, &s.bufs[i])
+		if err != nil {
+			return fmt.Errorf("core: executing %v: %w", n, err)
+		}
+		s.vals[i] = out
+	}
+	return nil
+}
+
+// Run executes the model on one NCHW input, reusing the session arena. The
+// returned tensors are views into the arena: they are valid until the next
+// Run/RunBatch on this session, and must be Clone()d to outlive it. Ctx is
+// checked between graph nodes, so cancellation takes effect mid-inference.
+func (s *Session) Run(ctx context.Context, input *tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := s.m.checkInput(input); err != nil {
+		return nil, err
+	}
+	if err := s.run(ctx, input, s.m.parallelFor()); err != nil {
+		return nil, err
+	}
+	for i, o := range s.m.Graph.Outputs {
+		s.outs[i] = s.vals[s.m.slot[o]]
+	}
+	return s.outs, nil
+}
+
+// RunBatch executes the model once per input, amortizing validation and
+// dispatch setup across the batch. Unlike Run, the returned tensors are
+// deep copies (the arena is reused between batch items), so they remain
+// valid indefinitely. A cancelled ctx stops between nodes; the results
+// produced so far are discarded.
+func (s *Session) RunBatch(ctx context.Context, inputs []*tensor.Tensor) ([][]*tensor.Tensor, error) {
+	for i, in := range inputs {
+		if err := s.m.checkInput(in); err != nil {
+			return nil, fmt.Errorf("core: batch input %d: %w", i, err)
+		}
+	}
+	pf := s.m.parallelFor()
+	results := make([][]*tensor.Tensor, len(inputs))
+	for i, in := range inputs {
+		if err := s.run(ctx, in, pf); err != nil {
+			return nil, fmt.Errorf("core: batch input %d: %w", i, err)
+		}
+		outs := make([]*tensor.Tensor, len(s.m.Graph.Outputs))
+		for j, o := range s.m.Graph.Outputs {
+			outs[j] = s.vals[s.m.slot[o]].Clone()
+		}
+		results[i] = outs
+	}
+	return results, nil
+}
+
+// Module returns the compiled module this session executes.
+func (s *Session) Module() *Module { return s.m }

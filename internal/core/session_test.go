@@ -1,0 +1,353 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+func sessionModule(t *testing.T, threads int, backend machine.ThreadBackend) *Module {
+	t.Helper()
+	m, err := Compile(models.TinyResNet(4), skylake(), Options{
+		Level: OptTransformElim, Threads: threads, Backend: backend,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestSessionMatchesRun(t *testing.T) {
+	m := sessionModule(t, 1, machine.BackendSerial)
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(11, 1)
+	want, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated runs must be deterministic and bit-identical to Module.Run:
+	// the arena is reused, never re-derived.
+	for i := 0; i < 3; i++ {
+		got, err := s.Run(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tensor.MaxAbsDiff(want[0], got[0]) != 0 {
+			t.Fatalf("run %d: session output diverges from Module.Run", i)
+		}
+	}
+}
+
+func TestSessionArenaReuse(t *testing.T) {
+	m := sessionModule(t, 1, machine.BackendSerial)
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(11, 1)
+	s, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Run(ctx, in); err != nil { // warm-up
+		t.Fatal(err)
+	}
+
+	sessAllocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.Run(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	modAllocs := testing.AllocsPerRun(10, func() {
+		if _, err := m.Run(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady-state session execution allocates no tensors: what remains is
+	// the handful of parallel-region closures the kernels pass to the
+	// threading runtime (about one per graph node).
+	if limit := float64(2 * len(m.program)); sessAllocs > limit {
+		t.Fatalf("session allocs/op = %v, want <= %v (program has %d nodes)", sessAllocs, limit, len(m.program))
+	}
+	if sessAllocs*2 > modAllocs {
+		t.Fatalf("arena win too small: session %v allocs/op vs module %v", sessAllocs, modAllocs)
+	}
+
+	// The byte volume is where the arena matters: Module.Run re-allocates
+	// every feature map, the session none of them.
+	bytesPer := func(f func()) uint64 {
+		const reps = 10
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < reps; i++ {
+			f()
+		}
+		runtime.ReadMemStats(&after)
+		return (after.TotalAlloc - before.TotalAlloc) / reps
+	}
+	sessBytes := bytesPer(func() { s.Run(ctx, in) })
+	modBytes := bytesPer(func() { m.Run(in) })
+	if sessBytes*10 > modBytes {
+		t.Fatalf("arena byte win too small: session %dB/op vs module %dB/op", sessBytes, modBytes)
+	}
+}
+
+func TestConcurrentSessionsShareModule(t *testing.T) {
+	// >= 4 goroutines, one session each, over one shared module with the
+	// custom thread pool — the scenario the compile-time pool construction
+	// and read-only weight sharing exist for. Run under -race in CI.
+	m := sessionModule(t, 4, machine.BackendPool)
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(7, 1)
+	want, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 6
+	const runsEach = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := m.NewSession()
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < runsEach; i++ {
+				outs, err := s.Run(context.Background(), in)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if tensor.MaxAbsDiff(want[0], outs[0]) != 0 {
+					errs <- errors.New("concurrent session output diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionContextCancellation(t *testing.T) {
+	m := sessionModule(t, 1, machine.BackendSerial)
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(3, 1)
+	s, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Run(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: got %v, want context.Canceled", err)
+	}
+	if _, err := s.RunBatch(ctx, []*tensor.Tensor{in}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch: got %v, want context.Canceled", err)
+	}
+	// The session must recover cleanly after a cancelled run.
+	outs, err := s.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(want[0], outs[0]) != 0 {
+		t.Fatal("post-cancellation run diverged")
+	}
+}
+
+func TestSessionRunBatch(t *testing.T) {
+	m := sessionModule(t, 2, machine.BackendPool)
+	s, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputs []*tensor.Tensor
+	for i := 0; i < 3; i++ {
+		in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+		in.FillRandom(uint64(100+i), 1)
+		inputs = append(inputs, in)
+	}
+	batch, err := s.RunBatch(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(inputs) {
+		t.Fatalf("got %d results for %d inputs", len(batch), len(inputs))
+	}
+	// Batch results are deep copies: each must match its independent run even
+	// though the arena was reused in between.
+	for i, in := range inputs {
+		want, err := m.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tensor.MaxAbsDiff(want[0], batch[i][0]) != 0 {
+			t.Fatalf("batch item %d diverges from independent run", i)
+		}
+	}
+}
+
+func TestSessionRejectsBadInput(t *testing.T) {
+	m := sessionModule(t, 1, machine.BackendSerial)
+	s, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), tensor.New(tensor.NCHW(), 1, 3, 8, 8)); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if _, err := s.RunBatch(context.Background(), []*tensor.Tensor{
+		tensor.New(tensor.NCHW(), 1, 3, 32, 32),
+		tensor.New(tensor.NCHW(), 1, 3, 8, 8),
+	}); err == nil {
+		t.Fatal("expected batch shape error")
+	}
+}
+
+func TestSessionRefusedOnPredictOnly(t *testing.T) {
+	m, err := Compile(models.TinyCNN(1), skylake(), Options{Level: OptTransformElim, NoPrepack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.PredictOnly() {
+		t.Fatal("module must report PredictOnly")
+	}
+	if _, err := m.NewSession(); err == nil {
+		t.Fatal("prediction-only module must refuse sessions")
+	}
+}
+
+func TestSessionAcrossLevelsAndModels(t *testing.T) {
+	// The session path must agree with Module.Run across every optimization
+	// level and model family the arena has to handle: residual adds
+	// (tiny-resnet), blocked concats (tiny-densenet), per-conv transforms
+	// (layout-opt mode), and the plain NCHW baseline.
+	builders := map[string]func(uint64) *graph.Graph{
+		"tiny-cnn":      models.TinyCNN,
+		"tiny-resnet":   models.TinyResNet,
+		"tiny-densenet": models.TinyDenseNet,
+	}
+	levels := []OptLevel{OptNone, OptLayout, OptTransformElim, OptGlobalSearch}
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(17, 1)
+	for name, mk := range builders {
+		for _, level := range levels {
+			m, err := Compile(mk(4), skylake(), Options{Level: level, Threads: 1, Backend: machine.BackendSerial})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, level, err)
+			}
+			want, err := m.Run(in)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, level, err)
+			}
+			s, err := m.NewSession()
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, level, err)
+			}
+			got, err := s.Run(context.Background(), in)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, level, err)
+			}
+			if tensor.MaxAbsDiff(want[0], got[0]) != 0 {
+				t.Fatalf("%s/%v: session output diverges from Module.Run", name, level)
+			}
+		}
+	}
+}
+
+func TestSessionInt8(t *testing.T) {
+	m, err := Compile(models.TinyCNN(9), skylake(), Options{
+		Level: OptTransformElim, Threads: 1, Backend: machine.BackendSerial, Int8: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(31, 1)
+	want, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(want[0], got[0]) != 0 {
+		t.Fatal("int8 session diverges from int8 Module.Run")
+	}
+}
+
+func TestSessionSSD(t *testing.T) {
+	// The SSD head's output size is data-dependent, so its arena slot stays
+	// dynamic; the session must still execute it (and everything upstream)
+	// correctly, twice in a row.
+	b := graph.NewBuilder("sess-ssd", 21)
+	x := b.Input(3, 64, 64)
+	x = b.ConvBNReLU(x, 16, 3, 2, 1)
+	s0 := b.ConvBNReLU(x, 32, 3, 2, 1)
+	attrs := graph.SSDHeadAttrs{
+		NumClasses: 4,
+		Sizes:      [][]float32{{0.2, 0.3}},
+		Ratios:     [][]float32{{1, 2, 0.5}},
+	}
+	attrs.Detection.ScoreThresh = 0.1
+	attrs.Detection.NMSThresh = 0.45
+	attrs.Detection.NMSTopK = 100
+	attrs.Detection.Variances = [4]float32{0.1, 0.1, 0.2, 0.2}
+	per := 4
+	cls := b.Conv(s0, per*(attrs.NumClasses+1), 3, 1, 1)
+	loc := b.Conv(s0, per*4, 3, 1, 1)
+	g := b.Finish(b.SSDHead(attrs, cls, loc))
+
+	m, err := Compile(g, skylake(), Options{Level: OptTransformElim, Threads: 1, Backend: machine.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(tensor.NCHW(), 1, 3, 64, 64)
+	in.FillRandom(7, 1)
+	want, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := s.Run(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tensor.MaxAbsDiff(want[0], got[0]) != 0 {
+			t.Fatalf("run %d: SSD session diverges from Module.Run", i)
+		}
+	}
+}

@@ -36,6 +36,14 @@ func (p BatchNormParams) scaleShift() (scale, shift []float32) {
 // 2). In optimized graphs this operator is folded into the preceding
 // convolution by FoldBatchNorm and never executes.
 func BatchNormInference(in *tensor.Tensor, p BatchNormParams, pf ParallelFor) *tensor.Tensor {
+	return BatchNormInferenceInto(nil, in, p, pf)
+}
+
+// BatchNormInferenceInto is BatchNormInference writing into a caller-provided
+// destination (nil dst allocates). The scale/shift working vectors are still
+// derived per call; optimized graphs fold BatchNorm away entirely, so this
+// path is only reached with DisableBNFold.
+func BatchNormInferenceInto(dst, in *tensor.Tensor, p BatchNormParams, pf ParallelFor) *tensor.Tensor {
 	scale, shift := p.scaleShift()
 	switch in.Layout.Kind {
 	case tensor.LayoutNCHW:
@@ -43,7 +51,7 @@ func BatchNormInference(in *tensor.Tensor, p BatchNormParams, pf ParallelFor) *t
 		if c != p.Channels() {
 			panic(fmt.Sprintf("ops: batchnorm channel mismatch %d vs %d", c, p.Channels()))
 		}
-		out := tensor.New(in.Layout, in.Shape...)
+		out := tensor.EnsureDst(dst, in.Layout, in.Shape...)
 		if pf == nil {
 			pf = Serial
 		}
@@ -62,7 +70,7 @@ func BatchNormInference(in *tensor.Tensor, p BatchNormParams, pf ParallelFor) *t
 		if co*x != p.Channels() {
 			panic(fmt.Sprintf("ops: batchnorm channel mismatch %d vs %d", co*x, p.Channels()))
 		}
-		out := tensor.New(in.Layout, in.Shape...)
+		out := tensor.EnsureDst(dst, in.Layout, in.Shape...)
 		if pf == nil {
 			pf = Serial
 		}

@@ -13,11 +13,22 @@ import (
 // blocked concat is a pure block-row copy (DenseNet and Inception rely on
 // this to keep blocked layouts flowing through their concat blocks).
 func Concat(ins []*tensor.Tensor, pf ParallelFor) *tensor.Tensor {
+	return ConcatInto(nil, ins, pf)
+}
+
+// ConcatInto is Concat writing into a caller-provided destination (nil dst
+// allocates).
+func ConcatInto(dst *tensor.Tensor, ins []*tensor.Tensor, pf ParallelFor) *tensor.Tensor {
 	if len(ins) == 0 {
 		panic("ops: Concat of zero tensors")
 	}
 	if len(ins) == 1 {
-		return ins[0].Clone()
+		if dst == nil {
+			return ins[0].Clone()
+		}
+		out := tensor.EnsureDst(dst, ins[0].Layout, ins[0].Shape...)
+		copy(out.Data, ins[0].Data)
+		return out
 	}
 	l := ins[0].Layout
 	for _, t := range ins[1:] {
@@ -27,15 +38,15 @@ func Concat(ins []*tensor.Tensor, pf ParallelFor) *tensor.Tensor {
 	}
 	switch l.Kind {
 	case tensor.LayoutNCHW:
-		return concatNCHW(ins, pf)
+		return concatNCHW(dst, ins, pf)
 	case tensor.LayoutNCHWc:
-		return concatNCHWc(ins, pf)
+		return concatNCHWc(dst, ins, pf)
 	default:
 		panic(fmt.Sprintf("ops: Concat supports NCHW and NCHWc, got %v", l))
 	}
 }
 
-func concatNCHW(ins []*tensor.Tensor, pf ParallelFor) *tensor.Tensor {
+func concatNCHW(dst *tensor.Tensor, ins []*tensor.Tensor, pf ParallelFor) *tensor.Tensor {
 	n, h, w := ins[0].Shape[0], ins[0].Shape[2], ins[0].Shape[3]
 	totalC := 0
 	for _, t := range ins {
@@ -44,7 +55,7 @@ func concatNCHW(ins []*tensor.Tensor, pf ParallelFor) *tensor.Tensor {
 		}
 		totalC += t.Shape[1]
 	}
-	out := tensor.New(tensor.NCHW(), n, totalC, h, w)
+	out := tensor.EnsureDst(dst, tensor.NCHW(), n, totalC, h, w)
 	if pf == nil {
 		pf = Serial
 	}
@@ -60,7 +71,7 @@ func concatNCHW(ins []*tensor.Tensor, pf ParallelFor) *tensor.Tensor {
 	return out
 }
 
-func concatNCHWc(ins []*tensor.Tensor, pf ParallelFor) *tensor.Tensor {
+func concatNCHWc(dst *tensor.Tensor, ins []*tensor.Tensor, pf ParallelFor) *tensor.Tensor {
 	x := ins[0].Layout.BlockC
 	n, h, w := ins[0].Shape[0], ins[0].Shape[2], ins[0].Shape[3]
 	totalCo := 0
@@ -70,7 +81,7 @@ func concatNCHWc(ins []*tensor.Tensor, pf ParallelFor) *tensor.Tensor {
 		}
 		totalCo += t.Shape[1]
 	}
-	out := tensor.New(tensor.NCHWc(x), n, totalCo, h, w, x)
+	out := tensor.EnsureDst(dst, tensor.NCHWc(x), n, totalCo, h, w, x)
 	if pf == nil {
 		pf = Serial
 	}

@@ -10,6 +10,12 @@ import (
 // with OIHW weights. It is used as the ground truth for every other
 // convolution kernel and as the un-optimized baseline of Table 3 row 1.
 func Conv2DNCHW(in, weight *tensor.Tensor, attrs Conv2DAttrs, epi Epilogue, pf ParallelFor) *tensor.Tensor {
+	return Conv2DNCHWInto(nil, in, weight, attrs, epi, pf)
+}
+
+// Conv2DNCHWInto is Conv2DNCHW writing into a caller-provided destination
+// (nil dst allocates).
+func Conv2DNCHWInto(dst *tensor.Tensor, in, weight *tensor.Tensor, attrs Conv2DAttrs, epi Epilogue, pf ParallelFor) *tensor.Tensor {
 	if in.Layout.Kind != tensor.LayoutNCHW {
 		panic(fmt.Sprintf("ops: Conv2DNCHW expects NCHW input, got %v", in.Layout))
 	}
@@ -22,7 +28,7 @@ func Conv2DNCHW(in, weight *tensor.Tensor, attrs Conv2DAttrs, epi Epilogue, pf P
 		panic(fmt.Sprintf("ops: weight shape %v inconsistent with attrs %+v and input channels %d", weight.Shape, attrs, c))
 	}
 	oh, ow := attrs.OutSize(h, w)
-	out := tensor.New(tensor.NCHW(), n, oc, oh, ow)
+	out := tensor.EnsureDst(dst, tensor.NCHW(), n, oc, oh, ow)
 	if pf == nil {
 		pf = Serial
 	}
@@ -71,13 +77,19 @@ func Conv2DNCHW(in, weight *tensor.Tensor, attrs Conv2DAttrs, epi Epilogue, pf P
 // Conv2DNHWC is the channels-last direct convolution (TensorFlow's default
 // layout). Weights remain OIHW.
 func Conv2DNHWC(in, weight *tensor.Tensor, attrs Conv2DAttrs, epi Epilogue, pf ParallelFor) *tensor.Tensor {
+	return Conv2DNHWCInto(nil, in, weight, attrs, epi, pf)
+}
+
+// Conv2DNHWCInto is Conv2DNHWC writing into a caller-provided destination
+// (nil dst allocates).
+func Conv2DNHWCInto(dst *tensor.Tensor, in, weight *tensor.Tensor, attrs Conv2DAttrs, epi Epilogue, pf ParallelFor) *tensor.Tensor {
 	if in.Layout.Kind != tensor.LayoutNHWC {
 		panic(fmt.Sprintf("ops: Conv2DNHWC expects NHWC input, got %v", in.Layout))
 	}
 	n, h, w, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	oc, kh, kw := weight.Shape[0], weight.Shape[2], weight.Shape[3]
 	oh, ow := attrs.OutSize(h, w)
-	out := tensor.New(tensor.NHWC(), n, oh, ow, oc)
+	out := tensor.EnsureDst(dst, tensor.NHWC(), n, oh, ow, oc)
 	if pf == nil {
 		pf = Serial
 	}
@@ -126,14 +138,16 @@ func Conv2DNHWC(in, weight *tensor.Tensor, attrs Conv2DAttrs, epi Epilogue, pf P
 }
 
 // padNCHWc returns the input with explicit zero padding applied on H and W,
-// or the input itself when no padding is needed.
-func padNCHWc(in *tensor.Tensor, padH, padW int) *tensor.Tensor {
+// or the input itself when no padding is needed. scratch, if non-nil, is the
+// reused padded buffer: its border was zeroed when it was first allocated and
+// interior writes never touch it, so only the interior rows are re-copied.
+func padNCHWc(in *tensor.Tensor, padH, padW int, scratch *tensor.Tensor) *tensor.Tensor {
 	if padH == 0 && padW == 0 {
 		return in
 	}
 	n, co, h, w, x := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3], in.Shape[4]
 	ph, pw := h+2*padH, w+2*padW
-	out := tensor.New(in.Layout, n, co, ph, pw, x)
+	out := tensor.EnsureDst(scratch, in.Layout, n, co, ph, pw, x)
 	for b := 0; b < n; b++ {
 		for c := 0; c < co; c++ {
 			for y := 0; y < h; y++ {
@@ -165,6 +179,24 @@ func padNCHWc(in *tensor.Tensor, padH, padW int) *tensor.Tensor {
 // The input must be NCHW[icb]c and the weight OIHW[icb]i[ocb]o with icb =
 // sched ic_bn and ocb = sched oc_bn.
 func Conv2DNCHWc(in, weight *tensor.Tensor, attrs Conv2DAttrs, icb, ocb, regN int, unrollKer bool, epi Epilogue, pf ParallelFor) *tensor.Tensor {
+	return Conv2DNCHWcInto(nil, nil, in, weight, attrs, icb, ocb, regN, unrollKer, epi, pf)
+}
+
+// PaddedShapeNCHWc returns the buffer shape Conv2DNCHWcInto needs for its
+// padding scratch given the blocked input shape, or nil when the convolution
+// needs no explicit padding. Sessions use it to size arenas once.
+func PaddedShapeNCHWc(inShape []int, attrs Conv2DAttrs) []int {
+	if attrs.PadH == 0 && attrs.PadW == 0 {
+		return nil
+	}
+	return []int{inShape[0], inShape[1], inShape[2] + 2*attrs.PadH, inShape[3] + 2*attrs.PadW, inShape[4]}
+}
+
+// Conv2DNCHWcInto is Conv2DNCHWc writing into caller-provided buffers: dst
+// receives the output and padScratch (sized per PaddedShapeNCHWc, zero-filled
+// at allocation) holds the explicitly padded input. Either may be nil, in
+// which case it is allocated.
+func Conv2DNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor.Tensor, attrs Conv2DAttrs, icb, ocb, regN int, unrollKer bool, epi Epilogue, pf ParallelFor) *tensor.Tensor {
 	if in.Layout.Kind != tensor.LayoutNCHWc || in.Layout.BlockC != icb {
 		panic(fmt.Sprintf("ops: Conv2DNCHWc expects NCHW%dc input, got %v", icb, in.Layout))
 	}
@@ -180,12 +212,12 @@ func Conv2DNCHWc(in, weight *tensor.Tensor, attrs Conv2DAttrs, icb, ocb, regN in
 		panic(fmt.Sprintf("ops: input ic.outer %d != weight %d", icOuter, weight.Shape[1]))
 	}
 	oh, ow := attrs.OutSize(h, w)
-	out := tensor.New(tensor.NCHWc(ocb), n, ocOuter, oh, ow, ocb)
+	out := tensor.EnsureDst(dst, tensor.NCHWc(ocb), n, ocOuter, oh, ow, ocb)
 	if pf == nil {
 		pf = Serial
 	}
 
-	padded := padNCHWc(in, attrs.PadH, attrs.PadW)
+	padded := padNCHWc(in, attrs.PadH, attrs.PadW, padScratch)
 	ph, pw := padded.Shape[2], padded.Shape[3]
 	_ = ph
 
@@ -198,8 +230,16 @@ func Conv2DNCHWc(in, weight *tensor.Tensor, attrs Conv2DAttrs, icb, ocb, regN in
 		b := rest / ocOuter
 
 		// Accumulator tile: reg_n positions × oc_bn sub-channels. In the
-		// AVX-512 realization each row is one ZMM register.
-		acc := make([]float32, regN*ocb)
+		// AVX-512 realization each row is one ZMM register; the fixed-size
+		// backing array keeps the tile on the goroutine stack so the hot
+		// loop performs no per-row heap allocation.
+		var accArr [1024]float32
+		var acc []float32
+		if regN*ocb <= len(accArr) {
+			acc = accArr[:regN*ocb]
+		} else {
+			acc = make([]float32, regN*ocb)
+		}
 		wBase := co * icOuter * kh * kw * icb * ocb
 
 		for owo := 0; owo < ow; owo += regN {

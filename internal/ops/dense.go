@@ -10,6 +10,12 @@ import (
 // a (outFeatures, inFeatures) weight. At batch size 1 (the paper's latency
 // setting) this is a GEMV and is bandwidth-bound on the weight matrix.
 func Dense(in, weight *tensor.Tensor, bias []float32, reluAfter bool, pf ParallelFor) *tensor.Tensor {
+	return DenseInto(nil, in, weight, bias, reluAfter, pf)
+}
+
+// DenseInto is Dense writing into a caller-provided destination (nil dst
+// allocates).
+func DenseInto(dst, in, weight *tensor.Tensor, bias []float32, reluAfter bool, pf ParallelFor) *tensor.Tensor {
 	if in.Rank() != 2 {
 		panic(fmt.Sprintf("ops: Dense expects rank-2 input, got %v", in.Shape))
 	}
@@ -21,7 +27,7 @@ func Dense(in, weight *tensor.Tensor, bias []float32, reluAfter bool, pf Paralle
 	if inF != wInF {
 		panic(fmt.Sprintf("ops: Dense feature mismatch %d vs %d", inF, wInF))
 	}
-	out := tensor.New(tensor.Flat(), n, outF)
+	out := tensor.EnsureDst(dst, tensor.Flat(), n, outF)
 	if pf == nil {
 		pf = Serial
 	}

@@ -37,20 +37,26 @@ func (a PoolAttrs) OutSize(h, w int) (int, int) {
 // category 2): it handles both NCHW and NCHW[x]c inputs and preserves the
 // input layout, so a blocked layout flows through it without transformation.
 func Pool2D(in *tensor.Tensor, attrs PoolAttrs, pf ParallelFor) *tensor.Tensor {
+	return Pool2DInto(nil, in, attrs, pf)
+}
+
+// Pool2DInto is Pool2D writing into a caller-provided destination (nil dst
+// allocates).
+func Pool2DInto(dst, in *tensor.Tensor, attrs PoolAttrs, pf ParallelFor) *tensor.Tensor {
 	switch in.Layout.Kind {
 	case tensor.LayoutNCHW:
-		return poolNCHW(in, attrs, pf)
+		return poolNCHW(dst, in, attrs, pf)
 	case tensor.LayoutNCHWc:
-		return poolNCHWc(in, attrs, pf)
+		return poolNCHWc(dst, in, attrs, pf)
 	default:
 		panic(fmt.Sprintf("ops: Pool2D supports NCHW and NCHWc, got %v", in.Layout))
 	}
 }
 
-func poolNCHW(in *tensor.Tensor, attrs PoolAttrs, pf ParallelFor) *tensor.Tensor {
+func poolNCHW(dst, in *tensor.Tensor, attrs PoolAttrs, pf ParallelFor) *tensor.Tensor {
 	n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	oh, ow := attrs.OutSize(h, w)
-	out := tensor.New(tensor.NCHW(), n, c, oh, ow)
+	out := tensor.EnsureDst(dst, tensor.NCHW(), n, c, oh, ow)
 	if pf == nil {
 		pf = Serial
 	}
@@ -67,10 +73,10 @@ func poolNCHW(in *tensor.Tensor, attrs PoolAttrs, pf ParallelFor) *tensor.Tensor
 	return out
 }
 
-func poolNCHWc(in *tensor.Tensor, attrs PoolAttrs, pf ParallelFor) *tensor.Tensor {
+func poolNCHWc(dst, in *tensor.Tensor, attrs PoolAttrs, pf ParallelFor) *tensor.Tensor {
 	n, co, h, w, x := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3], in.Shape[4]
 	oh, ow := attrs.OutSize(h, w)
-	out := tensor.New(in.Layout, n, co, oh, ow, x)
+	out := tensor.EnsureDst(dst, in.Layout, n, co, oh, ow, x)
 	if pf == nil {
 		pf = Serial
 	}
@@ -133,10 +139,16 @@ func poolWindow(src []float32, h, w, stride, off, oy, ox int, attrs PoolAttrs) f
 // returning an NCHW tensor of shape (N, C, 1, 1). Layout-tolerant: accepts
 // NCHW and NCHWc.
 func GlobalAvgPool(in *tensor.Tensor, pf ParallelFor) *tensor.Tensor {
+	return GlobalAvgPoolInto(nil, in, pf)
+}
+
+// GlobalAvgPoolInto is GlobalAvgPool writing into a caller-provided
+// destination (nil dst allocates).
+func GlobalAvgPoolInto(dst, in *tensor.Tensor, pf ParallelFor) *tensor.Tensor {
 	switch in.Layout.Kind {
 	case tensor.LayoutNCHW:
 		n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
-		out := tensor.New(tensor.NCHW(), n, c, 1, 1)
+		out := tensor.EnsureDst(dst, tensor.NCHW(), n, c, 1, 1)
 		if pf == nil {
 			pf = Serial
 		}
@@ -152,14 +164,19 @@ func GlobalAvgPool(in *tensor.Tensor, pf ParallelFor) *tensor.Tensor {
 	case tensor.LayoutNCHWc:
 		n, co, h, w, x := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3], in.Shape[4]
 		c := co * x
-		out := tensor.New(tensor.NCHW(), n, c, 1, 1)
+		out := tensor.EnsureDst(dst, tensor.NCHW(), n, c, 1, 1)
 		if pf == nil {
 			pf = Serial
 		}
 		pf(n*co, func(unit int) {
 			b, ch := unit/co, unit%co
 			src := in.Data[(b*co+ch)*h*w*x:]
-			sums := make([]float64, x)
+			// Stack-allocated accumulators for every realistic block size.
+			var sumsArr [64]float64
+			sums := sumsArr[:]
+			if x > len(sumsArr) {
+				sums = make([]float64, x)
+			}
 			for p := 0; p < h*w; p++ {
 				for ci := 0; ci < x; ci++ {
 					sums[ci] += float64(src[p*x+ci])

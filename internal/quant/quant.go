@@ -207,6 +207,14 @@ func PackWeightsOIHWio(q *QTensor, x, y int) *QTensor {
 // tiles (the scalar stand-in for VNNI/vpdpbusd or NEON sdot chains), with
 // the output rescaled back to float32 and the same fused epilogue options.
 func Conv2DInt8NCHWc(in *QTensor, weight *QTensor, attrs ops.Conv2DAttrs, icb, ocb, regN int, epi ops.Epilogue, pf ops.ParallelFor) *tensor.Tensor {
+	return Conv2DInt8NCHWcInto(nil, in, weight, attrs, icb, ocb, regN, epi, pf)
+}
+
+// Conv2DInt8NCHWcInto is Conv2DInt8NCHWc writing the rescaled float32 output
+// into a caller-provided destination (nil dst allocates). The quantized
+// input/padding buffers are still produced per call: dynamic activation
+// quantization is inherently per-inference work.
+func Conv2DInt8NCHWcInto(dst *tensor.Tensor, in *QTensor, weight *QTensor, attrs ops.Conv2DAttrs, icb, ocb, regN int, epi ops.Epilogue, pf ops.ParallelFor) *tensor.Tensor {
 	if in.Layout.Kind != tensor.LayoutNCHWc || in.Layout.BlockC != icb {
 		panic(fmt.Sprintf("quant: expected NCHW%dc input, got %v", icb, in.Layout))
 	}
@@ -219,7 +227,7 @@ func Conv2DInt8NCHWc(in *QTensor, weight *QTensor, attrs ops.Conv2DAttrs, icb, o
 	n, icOuter, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	ocOuter, kh, kw := weight.Shape[0], weight.Shape[2], weight.Shape[3]
 	oh, ow := attrs.OutSize(h, w)
-	out := tensor.New(tensor.NCHWc(ocb), n, ocOuter, oh, ow, ocb)
+	out := tensor.EnsureDst(dst, tensor.NCHWc(ocb), n, ocOuter, oh, ow, ocb)
 	if pf == nil {
 		pf = ops.Serial
 	}

@@ -7,9 +7,37 @@ import "fmt"
 // (Section 3.2) and to the compile-time pre-transformation of convolution
 // weights.
 
+// EnsureDst returns dst when non-nil (validating its exact dimensions and
+// layout against what the kernel produces) or allocates a fresh tensor. Every
+// destination-buffer ("Into") kernel variant funnels through it so execution
+// sessions can reuse arena buffers across inferences, and a mis-sized buffer
+// panics instead of silently computing over wrong geometry.
+func EnsureDst(dst *Tensor, layout Layout, shape ...int) *Tensor {
+	if dst == nil {
+		return New(layout, shape...)
+	}
+	ok := len(dst.Shape) == len(shape)
+	for i := 0; ok && i < len(shape); i++ {
+		ok = dst.Shape[i] == shape[i]
+	}
+	if !ok {
+		panic(fmt.Sprintf("tensor: destination shape %v, kernel produces %v", dst.Shape, shape))
+	}
+	if !dst.Layout.Equal(layout) {
+		panic(fmt.Sprintf("tensor: destination layout %v, kernel produces %v", dst.Layout, layout))
+	}
+	return dst
+}
+
 // ToNCHWc packs an NCHW activation into NCHW[x]c with block size x.
 // C must be divisible by x.
 func ToNCHWc(in *Tensor, x int) *Tensor {
+	return ToNCHWcInto(nil, in, x)
+}
+
+// ToNCHWcInto is ToNCHWc writing into a caller-provided destination (nil dst
+// allocates).
+func ToNCHWcInto(dst, in *Tensor, x int) *Tensor {
 	if in.Layout.Kind != LayoutNCHW {
 		panic(fmt.Sprintf("tensor: ToNCHWc expects NCHW input, got %v", in.Layout))
 	}
@@ -18,7 +46,7 @@ func ToNCHWc(in *Tensor, x int) *Tensor {
 		panic(fmt.Sprintf("tensor: channels %d not divisible by block %d", c, x))
 	}
 	cOuter := c / x
-	out := New(NCHWc(x), n, cOuter, h, w, x)
+	out := EnsureDst(dst, NCHWc(x), n, cOuter, h, w, x)
 	hw := h * w
 	for b := 0; b < n; b++ {
 		for co := 0; co < cOuter; co++ {
@@ -38,12 +66,18 @@ func ToNCHWc(in *Tensor, x int) *Tensor {
 
 // FromNCHWc unpacks an NCHW[x]c activation back to NCHW.
 func FromNCHWc(in *Tensor) *Tensor {
+	return FromNCHWcInto(nil, in)
+}
+
+// FromNCHWcInto is FromNCHWc writing into a caller-provided destination (nil
+// dst allocates).
+func FromNCHWcInto(dst, in *Tensor) *Tensor {
 	if in.Layout.Kind != LayoutNCHWc {
 		panic(fmt.Sprintf("tensor: FromNCHWc expects NCHWc input, got %v", in.Layout))
 	}
 	n, cOuter, h, w, x := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3], in.Shape[4]
 	c := cOuter * x
-	out := New(NCHW(), n, c, h, w)
+	out := EnsureDst(dst, NCHW(), n, c, h, w)
 	hw := h * w
 	for b := 0; b < n; b++ {
 		for co := 0; co < cOuter; co++ {
@@ -74,11 +108,17 @@ func RechunkNCHWc(in *Tensor, y int) *Tensor {
 
 // NCHWToNHWC converts the default layout to channels-last.
 func NCHWToNHWC(in *Tensor) *Tensor {
+	return NCHWToNHWCInto(nil, in)
+}
+
+// NCHWToNHWCInto is NCHWToNHWC writing into a caller-provided destination
+// (nil dst allocates).
+func NCHWToNHWCInto(dst, in *Tensor) *Tensor {
 	if in.Layout.Kind != LayoutNCHW {
 		panic(fmt.Sprintf("tensor: NCHWToNHWC expects NCHW input, got %v", in.Layout))
 	}
 	n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
-	out := New(NHWC(), n, h, w, c)
+	out := EnsureDst(dst, NHWC(), n, h, w, c)
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
 			for y := 0; y < h; y++ {
@@ -95,11 +135,17 @@ func NCHWToNHWC(in *Tensor) *Tensor {
 
 // NHWCToNCHW converts channels-last back to the default layout.
 func NHWCToNCHW(in *Tensor) *Tensor {
+	return NHWCToNCHWInto(nil, in)
+}
+
+// NHWCToNCHWInto is NHWCToNCHW writing into a caller-provided destination
+// (nil dst allocates).
+func NHWCToNCHWInto(dst, in *Tensor) *Tensor {
 	if in.Layout.Kind != LayoutNHWC {
 		panic(fmt.Sprintf("tensor: NHWCToNCHW expects NHWC input, got %v", in.Layout))
 	}
 	n, h, w, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
-	out := New(NCHW(), n, c, h, w)
+	out := EnsureDst(dst, NCHW(), n, c, h, w)
 	for b := 0; b < n; b++ {
 		for y := 0; y < h; y++ {
 			for x := 0; x < w; x++ {
@@ -178,25 +224,59 @@ func UnpackWeights(in *Tensor) *Tensor {
 // activation layouts. It is the generic kernel behind graph-level
 // LayoutTransform nodes.
 func Transform(in *Tensor, to Layout) *Tensor {
+	return TransformInto(nil, nil, in, to)
+}
+
+// NeedsTransformScratch reports whether TransformInto routes from→to through
+// an intermediate NCHW buffer (two-hop transforms between non-default
+// layouts). Sessions use it to decide which transform nodes get a scratch
+// buffer in their arena.
+func NeedsTransformScratch(from, to Layout) bool {
+	if from.Equal(to) || to.Kind == LayoutAny {
+		return false
+	}
+	switch {
+	case from.Kind == LayoutNCHWc && to.Kind == LayoutNCHWc:
+		return true
+	case from.Kind == LayoutNHWC && to.Kind == LayoutNCHWc:
+		return true
+	case from.Kind == LayoutNCHWc && to.Kind == LayoutNHWC:
+		return true
+	}
+	return false
+}
+
+// TransformInto is Transform writing into a caller-provided destination.
+// scratch, when the transform needs an intermediate NCHW hop (see
+// NeedsTransformScratch), must hold the activation's NCHW volume; nil dst or
+// scratch allocate.
+func TransformInto(dst, scratch *Tensor, in *Tensor, to Layout) *Tensor {
 	from := in.Layout
 	if from.Equal(to) || to.Kind == LayoutAny {
-		return in.Clone()
+		if dst == nil {
+			return in.Clone()
+		}
+		out := EnsureDst(dst, in.Layout, in.Shape...)
+		copy(out.Data, in.Data)
+		return out
 	}
 	switch {
 	case from.Kind == LayoutNCHW && to.Kind == LayoutNCHWc:
-		return ToNCHWc(in, to.BlockC)
+		return ToNCHWcInto(dst, in, to.BlockC)
 	case from.Kind == LayoutNCHWc && to.Kind == LayoutNCHW:
-		return FromNCHWc(in)
+		return FromNCHWcInto(dst, in)
 	case from.Kind == LayoutNCHWc && to.Kind == LayoutNCHWc:
-		return RechunkNCHWc(in, to.BlockC)
+		// Equal block factors were already handled by the from.Equal(to)
+		// copy path above, so this is always a genuine re-chunk.
+		return ToNCHWcInto(dst, FromNCHWcInto(scratch, in), to.BlockC)
 	case from.Kind == LayoutNCHW && to.Kind == LayoutNHWC:
-		return NCHWToNHWC(in)
+		return NCHWToNHWCInto(dst, in)
 	case from.Kind == LayoutNHWC && to.Kind == LayoutNCHW:
-		return NHWCToNCHW(in)
+		return NHWCToNCHWInto(dst, in)
 	case from.Kind == LayoutNHWC && to.Kind == LayoutNCHWc:
-		return ToNCHWc(NHWCToNCHW(in), to.BlockC)
+		return ToNCHWcInto(dst, NHWCToNCHWInto(scratch, in), to.BlockC)
 	case from.Kind == LayoutNCHWc && to.Kind == LayoutNHWC:
-		return NCHWToNHWC(FromNCHWc(in))
+		return NCHWToNHWCInto(dst, FromNCHWcInto(scratch, in))
 	}
 	panic(fmt.Sprintf("tensor: unsupported transform %v -> %v", from, to))
 }

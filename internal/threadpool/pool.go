@@ -170,6 +170,15 @@ func (p *Pool) Close() {
 // (Section 4.2.4).
 type OMPPool struct {
 	threads int
+	closed  atomic.Bool
+}
+
+// Close marks the runtime shut down. OMP-style teams are forked per region,
+// so there are no long-lived workers to reap, but Close gives OMPPool the
+// same lifecycle contract as Pool: owners release both uniformly and
+// use-after-close is caught instead of silently forking new teams.
+func (o *OMPPool) Close() {
+	o.closed.Store(true)
 }
 
 // NewOMPPool creates an OpenMP-style runtime with the given team width.
@@ -188,6 +197,9 @@ func (o *OMPPool) Threads() int { return o.threads }
 func (o *OMPPool) ParallelFor(n int, body func(i int)) {
 	if n <= 0 {
 		return
+	}
+	if o.closed.Load() {
+		panic("threadpool: ParallelFor on closed OMPPool")
 	}
 	if o.threads == 1 || n == 1 {
 		for i := 0; i < n; i++ {

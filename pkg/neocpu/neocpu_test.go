@@ -1,0 +1,253 @@
+package neocpu
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// smallCNN builds a quickly-executable classifier for facade tests.
+func smallCNN(seed uint64) *graph.Graph {
+	b := graph.NewBuilder("small-cnn", seed)
+	x := b.Input(3, 32, 32)
+	x = b.ConvBNReLU(x, 16, 3, 1, 1)
+	x = b.MaxPool(x, 2, 2, 0)
+	x = b.ConvBNReLU(x, 32, 3, 1, 1)
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, 10)
+	return b.Finish(b.Softmax(x))
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, l := range Levels() {
+		got, err := ParseLevel(l.String())
+		if err != nil || got != l {
+			t.Fatalf("ParseLevel(%q) = %v, %v", l.String(), got, err)
+		}
+	}
+	if _, err := ParseLevel("nope"); !errors.Is(err, ErrUnknownLevel) {
+		t.Fatalf("got %v, want ErrUnknownLevel", err)
+	}
+}
+
+func TestParseTarget(t *testing.T) {
+	names := TargetNames()
+	if len(names) < 3 {
+		t.Fatalf("too few targets: %v", names)
+	}
+	for _, name := range names {
+		tgt, err := ParseTarget(name)
+		if err != nil || tgt.Name != name {
+			t.Fatalf("ParseTarget(%q) = %+v, %v", name, tgt, err)
+		}
+	}
+	if _, err := ParseTarget("vax-11"); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("got %v, want ErrUnknownTarget", err)
+	}
+}
+
+func TestTypedOptionErrors(t *testing.T) {
+	if _, err := Compile("not-a-model"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("got %v, want ErrUnknownModel", err)
+	}
+	if _, err := Compile("resnet-18", WithTarget("not-a-target")); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("got %v, want ErrUnknownTarget", err)
+	}
+	if _, err := Compile("resnet-18", WithThreads(-1)); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("got %v, want ErrBadOption", err)
+	}
+	if _, err := CompileGraph(smallCNN(1), WithTargetSpec(nil)); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("got %v, want ErrBadOption", err)
+	}
+}
+
+func TestSerialBackendMeansSerial(t *testing.T) {
+	// An explicit BackendSerial must not be silently upgraded to the pool by
+	// the core's zero-value defaulting: serial means one execution lane.
+	e, err := CompileGraph(smallCNN(2), WithOptLevel(LevelTransformElim), WithBackend(BackendSerial), WithThreads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Threads() != 1 {
+		t.Fatalf("serial engine reports %d threads, want 1", e.Threads())
+	}
+}
+
+func TestPredictOnlyEngine(t *testing.T) {
+	e, err := Compile("resnet-18",
+		WithTarget("arm-cortex-a72"),
+		WithOptLevel(LevelTransformElim),
+		WithPredictOnly(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.PredictOnly() {
+		t.Fatal("engine must report PredictOnly")
+	}
+	if lat := e.PredictLatency(); lat <= 0 {
+		t.Fatalf("predicted latency %v", lat)
+	}
+	if e.Target().Name != "arm-cortex-a72" {
+		t.Fatalf("target %v", e.Target())
+	}
+	if got := e.InputShape(); len(got) != 4 || got[1] != 3 || got[2] != 224 {
+		t.Fatalf("input shape %v", got)
+	}
+	if _, err := e.Run(e.NewInput()); !errors.Is(err, ErrPredictOnly) {
+		t.Fatalf("Run: got %v, want ErrPredictOnly", err)
+	}
+	if _, _, err := e.RunProfiled(e.NewInput()); !errors.Is(err, ErrPredictOnly) {
+		t.Fatalf("RunProfiled: got %v, want ErrPredictOnly", err)
+	}
+	if _, err := e.NewSession(); !errors.Is(err, ErrPredictOnly) {
+		t.Fatalf("NewSession: got %v, want ErrPredictOnly", err)
+	}
+}
+
+func TestCompileGraphRunAndSession(t *testing.T) {
+	e, err := CompileGraph(smallCNN(3),
+		WithOptLevel(LevelGlobalSearch),
+		WithThreads(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	if e.Level() != LevelGlobalSearch {
+		t.Fatalf("level %v", e.Level())
+	}
+	if s, ok := e.SearchStats(); !ok || s.Vars == 0 || s.Algorithm == "" {
+		t.Fatalf("search stats %+v, %v", s, ok)
+	}
+	pre, post := e.Stats()
+	if pre.Nodes <= post.Nodes || post.Convs != 2 {
+		t.Fatalf("stats before %+v after %+v", pre, post)
+	}
+
+	in := e.NewInput()
+	in.FillRandom(5, 1)
+	want, err := e.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := e.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(want[0], got[0]) != 0 {
+		t.Fatal("session diverges from Run")
+	}
+
+	batch, err := sess.RunBatch(context.Background(), []*tensor.Tensor{in, in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 || tensor.MaxAbsDiff(want[0], batch[1][0]) != 0 {
+		t.Fatal("batch diverges from Run")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.Run(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+
+	var plan bytes.Buffer
+	if err := e.SavePlan(&plan); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.String(), "\"entries\"") {
+		t.Fatalf("plan JSON incomplete: %s", plan.String())
+	}
+}
+
+func TestLevelsAgreeThroughFacade(t *testing.T) {
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(9, 1)
+	var ref *tensor.Tensor
+	for _, level := range Levels() {
+		e, err := CompileGraph(smallCNN(7), WithOptLevel(level), WithThreads(1), WithBackend(BackendSerial))
+		if err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+		outs, err := e.Run(in)
+		if err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+		if ref == nil {
+			ref = outs[0]
+			continue
+		}
+		if !tensor.AllClose(ref, outs[0], 1e-4) {
+			t.Fatalf("%v diverges from baseline by %g", level, tensor.MaxAbsDiff(ref, outs[0]))
+		}
+	}
+}
+
+func TestInt8ThroughFacade(t *testing.T) {
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(13, 1)
+	f32, err := CompileGraph(smallCNN(11), WithOptLevel(LevelTransformElim), WithThreads(1), WithBackend(BackendSerial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i8, err := CompileGraph(smallCNN(11), WithOptLevel(LevelTransformElim), WithThreads(1), WithBackend(BackendSerial), WithInt8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !i8.Int8() {
+		t.Fatal("engine must report Int8")
+	}
+	a, err := f32.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := i8.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(a[0], b[0]); d > 0.05 {
+		t.Fatalf("int8 output diverges from fp32 by %g", d)
+	}
+}
+
+func TestRegistryCompileExecutes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs a full ResNet-18 on the host")
+	}
+	e, err := Compile("resnet-18", WithOptLevel(LevelTransformElim), WithThreads(2), WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	sess, err := e.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := e.NewInput()
+	in.FillRandom(1, 1)
+	outs, err := sess.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range outs[0].Data {
+		sum += float64(v)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
