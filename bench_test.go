@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"repro/internal/baselines"
+	"repro/internal/benchkernels"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -121,13 +122,11 @@ func BenchmarkFigure4c(b *testing.B) { benchFigure4(b, report.Figure4Specs()[2])
 // Ablation benches on the real Go kernels (host wall-clock).
 // ---------------------------------------------------------------------------
 
-// benchConvCase is a mid-network ResNet convolution: 64x28x28 -> 64, 3x3.
+// benchConvTensors is the shared mid-network ResNet convolution workload
+// (64x28x28 -> 64, 3x3), defined once in internal/benchkernels so the JSON
+// benchmark emitter measures the same geometry.
 func benchConvTensors() (*tensor.Tensor, *tensor.Tensor, ops.Conv2DAttrs) {
-	in := tensor.New(tensor.NCHW(), 1, 64, 28, 28)
-	in.FillRandom(1, 1)
-	wt := tensor.New(tensor.OIHW(), 64, 64, 3, 3)
-	wt.FillRandom(2, 0.5)
-	return in, wt, ops.Conv2DAttrs{OutC: 64, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	return benchkernels.ConvCase()
 }
 
 // BenchmarkConvLayout compares the direct convolution in each data layout —
@@ -298,19 +297,35 @@ func BenchmarkThreadPool(b *testing.B) {
 }
 
 // BenchmarkConvAlgorithm compares the direct template against the Winograd
-// F(2x2,3x3) kernel (the paper's Section 6 extension) on real Go code.
+// F(2x2,3x3) kernels (the paper's Section 6 extension) on real Go code, in
+// both the unblocked and the NCHW[x]c layouts. The blocked pair is the
+// matchup the optimization-scheme search decides per layer: on ResNet-style
+// 3x3 stride-1 workloads the winograd scheme's 2.25x multiply reduction
+// should beat the direct template.
 func BenchmarkConvAlgorithm(b *testing.B) {
-	in, wt, attrs := benchConvTensors()
-	b.Run("direct-NCHW8c", func(b *testing.B) {
-		bi := tensor.ToNCHWc(in, 8)
-		bw := tensor.PackWeights(wt, 8, 8)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			ops.Conv2DNCHWc(bi, bw, attrs, 8, 8, 8, true, ops.Epilogue{}, nil)
-		}
-	})
-	b.Run("winograd-f2x3", func(b *testing.B) {
+	for _, blk := range []int{8, 16} {
+		blk := blk
+		b.Run("direct-NCHW"+itoa(blk)+"c", func(b *testing.B) {
+			iter := benchkernels.DirectBlocked(blk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				iter()
+			}
+		})
+		b.Run("winograd-NCHW"+itoa(blk)+"c", func(b *testing.B) {
+			iter := benchkernels.WinogradBlocked(blk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				iter()
+			}
+		})
+	}
+	b.Run("winograd-f2x3-NCHW", func(b *testing.B) {
+		in, wt, attrs := benchkernels.ConvCase()
 		u := ops.WinogradWeightTransform(wt)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			ops.Conv2DWinograd(in, u, attrs, ops.Epilogue{}, nil)
@@ -451,6 +466,41 @@ func BenchmarkModuleRun(b *testing.B) {
 func BenchmarkSessionRun(b *testing.B) {
 	m := benchRunModule(b)
 	defer m.Close()
+	s, err := m.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(1, 1)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionRunWinograd is BenchmarkSessionRun on a winograd-planned
+// module: the global search schedules TinyResNet's 3x3 stride-1 convolutions
+// with the Winograd algorithm, and the session arena (which sizes the
+// winograd transform scratch at creation) must keep steady-state execution
+// as allocation-free as the direct path.
+func BenchmarkSessionRunWinograd(b *testing.B) {
+	m, err := core.Compile(models.TinyResNet(1), machine.IntelSkylakeC5(),
+		core.Options{Level: core.OptGlobalSearch, Threads: 1, Backend: machine.BackendSerial})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	var plan strings.Builder
+	if err := m.SavePlan(&plan); err != nil {
+		b.Fatal(err)
+	}
+	if !strings.Contains(plan.String(), `"algorithm": "winograd"`) {
+		b.Fatal("global search did not schedule any winograd convolution; benchmark would not measure the winograd path")
+	}
 	s, err := m.NewSession()
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/benchkernels"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/models"
+	"repro/internal/search"
+	"repro/internal/tensor"
+)
+
+// This file implements the -json mode: machine-readable benchmark output so
+// the performance trajectory is tracked across PRs instead of only living in
+// transient test output. One BENCH_<target>.json per paper target.
+
+// benchEntry is one (model, scheme) prediction or one measured host kernel.
+type benchEntry struct {
+	// Model + Scheme identify predicted entries; Name identifies measured
+	// host benchmarks.
+	Model  string `json:"model,omitempty"`
+	Scheme string `json:"scheme,omitempty"`
+	Name   string `json:"name,omitempty"`
+	// NsPerOp is the predicted (simulated target) or measured (host)
+	// nanoseconds per inference / per kernel invocation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are reported for measured entries only.
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchFile is the serialized BENCH_<target>.json document. It carries no
+// timestamp on purpose: the files are meant to be diffed across PRs, and a
+// generation time would make every regeneration a spurious diff.
+type benchFile struct {
+	SchemaVersion int    `json:"schema_version"`
+	Target        string `json:"target"`
+	CPU           string `json:"cpu"`
+	// Predicted holds the cost-model latency of every registry model under
+	// every optimization scheme on the (modeled) target.
+	Predicted []benchEntry `json:"predicted"`
+	// Measured holds real host wall-clock kernel benchmarks (identical
+	// across target files; the host is whatever ran this command).
+	Measured []benchEntry `json:"measured"`
+}
+
+// jsonSchemes are the optimization schemes tracked per model. The first four
+// mirror the paper's Table 3 rows (direct template only, for comparability
+// with the published ablation); the last adds the winograd algorithm
+// dimension of the extended global search.
+var jsonSchemes = []struct {
+	name            string
+	level           core.OptLevel
+	disableWinograd bool
+}{
+	{"baseline-nchw", core.OptNone, true},
+	{"layout-opt", core.OptLayout, true},
+	{"transform-elim", core.OptTransformElim, true},
+	{"global-search", core.OptGlobalSearch, true},
+	{"global-search+winograd", core.OptGlobalSearch, false},
+}
+
+func writeBenchJSON(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	measured, err := measureHostKernels()
+	if err != nil {
+		return err
+	}
+	for _, t := range machine.AllTargets() {
+		doc := benchFile{
+			SchemaVersion: 1,
+			Target:        t.Name,
+			CPU:           t.CPU,
+			Measured:      measured,
+		}
+		for _, name := range models.Names() {
+			spec, err := models.Get(name)
+			if err != nil {
+				return err
+			}
+			for _, sch := range jsonSchemes {
+				opts := core.Options{
+					Level:           sch.level,
+					NoPrepack:       true,
+					DisableWinograd: sch.disableWinograd,
+				}
+				if sch.level == core.OptGlobalSearch {
+					opts.Search = search.Options{
+						MaxCands:  10,
+						ForcePBQP: spec.UsePBQP,
+						Threads:   t.Cores,
+						Backend:   machine.BackendPool,
+						DB:        core.SharedScheduleDB(t, t.Cores, machine.BackendPool),
+					}
+				}
+				g, err := models.BuildShapeOnly(name)
+				if err != nil {
+					return err
+				}
+				m, err := core.Compile(g, t, opts)
+				if err != nil {
+					return fmt.Errorf("neocpu-bench: json %s/%s/%s: %w", t.Name, name, sch.name, err)
+				}
+				doc.Predicted = append(doc.Predicted, benchEntry{
+					Model:   name,
+					Scheme:  sch.name,
+					NsPerOp: m.PredictLatency(core.PredictConfig{}) * 1e9,
+				})
+			}
+		}
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", t.Name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d predicted, %d measured entries)\n", path, len(doc.Predicted), len(doc.Measured))
+	}
+	return nil
+}
+
+// measureHostKernels times the real Go kernels on the host via
+// testing.Benchmark: the direct-vs-winograd matchup on the shared
+// internal/benchkernels workload (the same one BenchmarkConvAlgorithm
+// reports), and the session execution paths on tiny-resnet.
+func measureHostKernels() ([]benchEntry, error) {
+	var out []benchEntry
+	record := func(name string, r testing.BenchmarkResult) error {
+		// A b.Fatal inside the closure aborts the benchmark and yields a
+		// zeroed result; recording 0 ns/op would poison the trajectory
+		// diff, so fail the whole command instead.
+		if r.N <= 0 || r.NsPerOp() <= 0 {
+			return fmt.Errorf("neocpu-bench: benchmark %q failed (no iterations completed)", name)
+		}
+		out = append(out, benchEntry{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		return nil
+	}
+
+	for _, blk := range []int{8, 16} {
+		for _, k := range []struct {
+			name string
+			iter func()
+		}{
+			{fmt.Sprintf("conv-algorithm/direct-NCHW%dc", blk), benchkernels.DirectBlocked(blk)},
+			{fmt.Sprintf("conv-algorithm/winograd-NCHW%dc", blk), benchkernels.WinogradBlocked(blk)},
+		} {
+			iter := k.iter
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					iter()
+				}
+			})
+			if err := record(k.name, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, cfg := range []struct {
+		name            string
+		disableWinograd bool
+	}{
+		{"session-run/tiny-resnet-direct", true},
+		{"session-run/tiny-resnet-winograd", false},
+	} {
+		m, err := core.Compile(models.TinyResNet(1), machine.IntelSkylakeC5(), core.Options{
+			Level: core.OptGlobalSearch, Threads: 1, Backend: machine.BackendSerial,
+			DisableWinograd: cfg.disableWinograd,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The entry name promises which execution path was measured; if the
+		// search stops scheduling winograd here, the trajectory data would
+		// silently lie, so verify the plan before timing.
+		winogradConvs := 0
+		for _, n := range m.Graph.Convs() {
+			if n.Sched.Algorithm == machine.AlgoWinograd {
+				winogradConvs++
+			}
+		}
+		if !cfg.disableWinograd && winogradConvs == 0 {
+			m.Close()
+			return nil, fmt.Errorf("neocpu-bench: %q: global search scheduled no winograd convolutions", cfg.name)
+		}
+		if cfg.disableWinograd && winogradConvs != 0 {
+			m.Close()
+			return nil, fmt.Errorf("neocpu-bench: %q: winograd scheduled despite DisableWinograd", cfg.name)
+		}
+		s, err := m.NewSession()
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		img := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+		img.FillRandom(3, 1)
+		ctx := context.Background()
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(ctx, img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		m.Close()
+		if err := record(cfg.name, r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

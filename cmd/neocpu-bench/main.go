@@ -6,9 +6,17 @@
 //	neocpu-bench -experiment all
 //	neocpu-bench -experiment table2a
 //	neocpu-bench -experiment figure4c
+//	neocpu-bench -json out/
 //
 // Experiments: table1, table2a (Intel), table2b (AMD), table2c (ARM),
 // table3 (optimization ablation), figure4a/b/c (thread scalability), all.
+//
+// With -json DIR the command instead emits one machine-readable
+// BENCH_<target>.json per paper target: predicted latency (ns/op) for every
+// model under every optimization scheme — including the winograd-enabled
+// global search — plus real host-kernel measurements (ns/op, B/op) of the
+// convolution-algorithm matchup and the session execution paths. CI and
+// later PRs diff these files to track the performance trajectory.
 package main
 
 import (
@@ -22,7 +30,15 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all", "table1|table2a|table2b|table2c|table3|figure4a|figure4b|figure4c|all")
+	jsonDir := flag.String("json", "", "write machine-readable BENCH_<target>.json files into this directory and exit")
 	flag.Parse()
+
+	if *jsonDir != "" {
+		if err := writeBenchJSON(*jsonDir); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	runners := map[string]func() error{
 		"table1":   func() error { fmt.Println(report.Table1()); return nil },

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/machine"
+	"repro/internal/ops"
 	"repro/internal/quant"
 	"repro/internal/schedule"
 	"repro/internal/search"
@@ -86,8 +87,15 @@ type Options struct {
 	// compile time, activations are quantized dynamically at each blocked
 	// convolution, accumulation is int32, and outputs are rescaled to
 	// float32 so the rest of the graph is unchanged. Convolutions scheduled
-	// in plain NCHW (the un-optimized baseline) stay in fp32.
+	// in plain NCHW (the un-optimized baseline) stay in fp32. Int8 implies
+	// DisableWinograd: there is no quantized Winograd kernel.
 	Int8 bool
+	// DisableWinograd removes the Winograd algorithm from the global
+	// search's candidate space, pinning every convolution to the direct
+	// template. Winograd's fp32 transforms accumulate slightly different
+	// rounding than direct summation; callers needing bit-compatible direct
+	// results can opt out here.
+	DisableWinograd bool
 	// Search configures the global search at OptGlobalSearch.
 	Search search.Options
 }
@@ -142,6 +150,9 @@ func Compile(g *graph.Graph, t *machine.Target, opts Options) (*Module, error) {
 		plan = graph.UniformPlan(g, block, defaultRegN, true)
 	case OptGlobalSearch:
 		sOpts := opts.Search
+		if opts.DisableWinograd || opts.Int8 {
+			sOpts.DisableWinograd = true
+		}
 		if sOpts.Threads <= 0 {
 			sOpts.Threads = opts.Threads
 			if sOpts.Threads <= 0 {
@@ -236,10 +247,18 @@ func finalizeModule(g *graph.Graph, t *machine.Target, level OptLevel, searchOut
 			if n.Sched.Layout.Kind != tensor.LayoutNCHWc {
 				continue
 			}
-			if opts.Int8 {
+			switch {
+			case opts.Int8:
+				if n.Sched.Algorithm == machine.AlgoWinograd {
+					return nil, fmt.Errorf("core: %v is scheduled as winograd but the module is int8 (no quantized winograd kernel); compile with DisableWinograd or a direct plan", n)
+				}
 				qw := quant.QuantizeWeightsPerChannel(n.Weight)
 				m.qpacked[n] = quant.PackWeightsOIHWio(qw, n.Sched.ICBlock, n.Sched.OCBlock)
-			} else {
+			case n.Sched.Algorithm == machine.AlgoWinograd:
+				// U = G g Gᵀ, packed for the blocked kernel — the winograd
+				// analog of the compile-time weight pre-packing.
+				m.packed[n] = ops.WinogradWeightTransformNCHWc(n.Weight, n.Sched.ICBlock, n.Sched.OCBlock)
+			default:
 				m.packed[n] = tensor.PackWeights(n.Weight, n.Sched.ICBlock, n.Sched.OCBlock)
 			}
 		}

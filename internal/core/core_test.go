@@ -504,6 +504,170 @@ func TestPlanSaveLoadRoundTrip(t *testing.T) {
 	replayed.Close()
 }
 
+func TestWinogradPlanRoundTrip(t *testing.T) {
+	tgt := skylake()
+	orig, err := Compile(models.TinyResNet(3), tgt,
+		Options{Level: OptGlobalSearch, Threads: 1, Backend: machine.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	var buf bytes.Buffer
+	if err := orig.SavePlan(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"algorithm": "winograd"`) {
+		t.Fatalf("saved plan carries no winograd entry:\n%s", buf.String())
+	}
+
+	pf, err := LoadPlan(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := CompileWithPlan(models.TinyResNet(3), tgt, pf, Options{Threads: 1, Backend: machine.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replayed.Close()
+	// The algorithm choice must survive the round trip per convolution.
+	algoByName := map[string]machine.ConvAlgorithm{}
+	for _, n := range orig.Graph.Convs() {
+		algoByName[n.Name] = n.Sched.Algorithm
+	}
+	winograd := 0
+	for _, n := range replayed.Graph.Convs() {
+		if n.Sched.Algorithm != algoByName[n.Name] {
+			t.Fatalf("conv %q: algorithm %v after replay, want %v", n.Name, n.Sched.Algorithm, algoByName[n.Name])
+		}
+		if n.Sched.Algorithm == machine.AlgoWinograd {
+			winograd++
+		}
+	}
+	if winograd == 0 {
+		t.Fatal("replayed plan lost every winograd schedule")
+	}
+	// And the replayed module must execute bit-identically.
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(13, 1)
+	want, err := orig.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := replayed.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(want[0], got[0]) != 0 {
+		t.Fatal("replayed winograd module computes different outputs")
+	}
+
+	// Plans saved before the algorithm field existed (no "algorithm" keys)
+	// must still load and default every convolution to the direct template.
+	for i := range pf.Entries {
+		pf.Entries[i].Algorithm = ""
+	}
+	direct, err := CompileWithPlan(models.TinyResNet(3), tgt, pf, Options{Threads: 1, Backend: machine.BackendSerial})
+	if err != nil {
+		t.Fatalf("plan without algorithm fields must load: %v", err)
+	}
+	defer direct.Close()
+	for _, n := range direct.Graph.Convs() {
+		if n.Sched.Algorithm != machine.AlgoDirect {
+			t.Fatalf("conv %q: algorithm-less plan entry produced %v", n.Name, n.Sched.Algorithm)
+		}
+	}
+	if _, err := direct.Run(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinogradPlanValidation(t *testing.T) {
+	tgt := skylake()
+	m, err := Compile(models.TinyResNet(3), tgt,
+		Options{Level: OptGlobalSearch, Threads: 1, Backend: machine.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var buf bytes.Buffer
+	if err := m.SavePlan(&buf); err != nil {
+		t.Fatal(err)
+	}
+	load := func() *PlanFile {
+		pf, err := LoadPlan(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pf
+	}
+
+	// Winograd on a non-3x3 convolution (the 1x1 residual projection) must
+	// be rejected at plan-apply time.
+	non3x3 := ""
+	for _, n := range m.Graph.Convs() {
+		if n.Conv.KH != 3 {
+			non3x3 = n.Name
+			break
+		}
+	}
+	if non3x3 == "" {
+		t.Fatal("test model has no non-3x3 convolution")
+	}
+	pf := load()
+	for i := range pf.Entries {
+		if pf.Entries[i].Conv == non3x3 {
+			pf.Entries[i].Algorithm = "winograd"
+		}
+	}
+	if _, err := CompileWithPlan(models.TinyResNet(3), tgt, pf, Options{}); err == nil {
+		t.Fatal("expected error scheduling winograd on a non-3x3 convolution")
+	}
+
+	// Unknown algorithm names fail loudly.
+	pf = load()
+	pf.Entries[0].Algorithm = "strassen"
+	if _, err := CompileWithPlan(models.TinyResNet(3), tgt, pf, Options{}); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+
+	// Winograd plans cannot drive an int8 module (no quantized kernel).
+	pf = load()
+	if _, err := CompileWithPlan(models.TinyResNet(3), tgt, pf, Options{Int8: true}); err == nil {
+		t.Fatal("expected error applying a winograd plan to an int8 module")
+	}
+}
+
+func TestDisableWinogradPinsDirect(t *testing.T) {
+	m, err := Compile(models.TinyResNet(3), skylake(),
+		Options{Level: OptGlobalSearch, Threads: 1, Backend: machine.BackendSerial, DisableWinograd: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for _, n := range m.Graph.Convs() {
+		if n.Sched.Algorithm != machine.AlgoDirect {
+			t.Fatalf("conv %q scheduled %v with winograd disabled", n.Name, n.Sched.Algorithm)
+		}
+	}
+	// Int8 implies the same restriction (and must compile + run).
+	q, err := Compile(models.TinyResNet(3), skylake(),
+		Options{Level: OptGlobalSearch, Threads: 1, Backend: machine.BackendSerial, Int8: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	for _, n := range q.Graph.Convs() {
+		if n.Sched.Algorithm != machine.AlgoDirect {
+			t.Fatalf("int8 conv %q scheduled %v", n.Name, n.Sched.Algorithm)
+		}
+	}
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(2, 1)
+	if _, err := q.Run(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPlanMismatchesFail(t *testing.T) {
 	tgt := skylake()
 	m, err := Compile(models.TinyCNN(1), tgt, Options{Level: OptGlobalSearch, Search: search.Options{MaxCands: 4}})

@@ -139,8 +139,11 @@ type nodeBuffers struct {
 	// out receives the node's output (nil for data-dependent outputs such
 	// as the SSD head, and for aliasing nodes).
 	out *tensor.Tensor
-	// pad is the blocked convolution's explicit-padding scratch.
+	// pad is the blocked direct convolution's explicit-padding scratch.
 	pad *tensor.Tensor
+	// wino is the blocked winograd convolution's transform scratch (the
+	// per-tile-row V tiles, sized by ops.WinogradScratchShape).
+	wino *tensor.Tensor
 	// scratch is the two-hop layout transform's NCHW intermediate.
 	scratch *tensor.Tensor
 	// concat is the reused operand slice for concat nodes.
@@ -159,6 +162,13 @@ func (b *nodeBuffers) padT() *tensor.Tensor {
 		return nil
 	}
 	return b.pad
+}
+
+func (b *nodeBuffers) winoT() *tensor.Tensor {
+	if b == nil {
+		return nil
+	}
+	return b.wino
 }
 
 func (b *nodeBuffers) scratchT() *tensor.Tensor {
@@ -191,6 +201,10 @@ func (m *Module) exec(n *graph.Node, vals []*tensor.Tensor, input *tensor.Tensor
 				qin := quant.Quantize(arg(0))
 				return quant.Conv2DInt8NCHWcInto(buf.outT(), qin, m.qpacked[n], n.Conv,
 					n.Sched.ICBlock, n.Sched.OCBlock, n.Sched.RegN, epi, pf), nil
+			}
+			if n.Sched.Algorithm == machine.AlgoWinograd {
+				return ops.Conv2DWinogradNCHWcInto(buf.outT(), buf.winoT(), arg(0), m.packed[n], n.Conv,
+					n.Sched.ICBlock, n.Sched.OCBlock, epi, pf), nil
 			}
 			return ops.Conv2DNCHWcInto(buf.outT(), buf.padT(), arg(0), m.packed[n], n.Conv,
 				n.Sched.ICBlock, n.Sched.OCBlock, n.Sched.RegN, n.Sched.UnrollKer, epi, pf), nil

@@ -26,6 +26,9 @@ type PlanEntry struct {
 	OCBlock   int    `json:"oc_bn,omitempty"`
 	RegN      int    `json:"reg_n,omitempty"`
 	UnrollKer bool   `json:"unroll_ker,omitempty"`
+	// Algorithm selects the convolution algorithm: "winograd" or "direct".
+	// Absent (plans saved before the field existed) means direct.
+	Algorithm string `json:"algorithm,omitempty"`
 }
 
 // PlanFile is the serialized compilation plan.
@@ -52,6 +55,9 @@ func (m *Module) SavePlan(w io.Writer) error {
 			e.OCBlock = n.Sched.OCBlock
 			e.RegN = n.Sched.RegN
 			e.UnrollKer = n.Sched.UnrollKer
+			if n.Sched.Algorithm == machine.AlgoWinograd {
+				e.Algorithm = machine.AlgoWinograd.String()
+			}
 		case tensor.LayoutNHWC:
 			e.Layout = "nhwc"
 		default:
@@ -92,6 +98,15 @@ func (pf *PlanFile) Apply(g *graph.Graph) (graph.LayoutPlan, error) {
 			return nil, fmt.Errorf("core: plan has no entry for convolution %q", n.Name)
 		}
 		delete(byName, n.Name)
+		algo := machine.AlgoDirect
+		switch e.Algorithm {
+		case "", machine.AlgoDirect.String():
+			// Plans predating the algorithm field load as direct.
+		case machine.AlgoWinograd.String():
+			algo = machine.AlgoWinograd
+		default:
+			return nil, fmt.Errorf("core: plan entry %q has unknown algorithm %q", e.Conv, e.Algorithm)
+		}
 		var s machine.ConvSchedule
 		switch e.Layout {
 		case "nchwc":
@@ -99,16 +114,26 @@ func (pf *PlanFile) Apply(g *graph.Graph) (graph.LayoutPlan, error) {
 				Layout:  tensor.NCHWc(e.ICBlock),
 				ICBlock: e.ICBlock, OCBlock: e.OCBlock,
 				RegN: e.RegN, UnrollKer: e.UnrollKer,
+				Algorithm: algo,
 			}
 			wl := graph.ConvWorkload(n)
 			if e.ICBlock <= 0 || wl.InC%e.ICBlock != 0 || e.OCBlock <= 0 || wl.OutC%e.OCBlock != 0 {
 				return nil, fmt.Errorf("core: plan entry %q blocks (%d,%d) do not divide channels (%d,%d)",
 					e.Conv, e.ICBlock, e.OCBlock, wl.InC, wl.OutC)
 			}
-		case "nhwc":
-			s = machine.ConvSchedule{Layout: tensor.NHWC()}
-		case "nchw":
-			s = machine.ConvSchedule{Layout: tensor.NCHW()}
+			if algo == machine.AlgoWinograd && !wl.WinogradViable() {
+				return nil, fmt.Errorf("core: plan entry %q schedules winograd for a %dx%d stride-%dx%d convolution (3x3 stride-1 only)",
+					e.Conv, wl.KH, wl.KW, wl.StrideH, wl.StrideW)
+			}
+		case "nhwc", "nchw":
+			if algo == machine.AlgoWinograd {
+				return nil, fmt.Errorf("core: plan entry %q schedules winograd in layout %q (NCHW[x]c only)", e.Conv, e.Layout)
+			}
+			if e.Layout == "nhwc" {
+				s = machine.ConvSchedule{Layout: tensor.NHWC()}
+			} else {
+				s = machine.ConvSchedule{Layout: tensor.NCHW()}
+			}
 		default:
 			return nil, fmt.Errorf("core: plan entry %q has unknown layout %q", e.Conv, e.Layout)
 		}

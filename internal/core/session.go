@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/machine"
 	"repro/internal/ops"
 	"repro/internal/tensor"
 )
@@ -76,7 +77,11 @@ func (m *Module) arenaFor(n *graph.Node) nodeBuffers {
 		if n.Sched.Layout.Kind == tensor.LayoutNCHWc && !m.Int8 {
 			in := n.Inputs[0]
 			physIn := physicalDims(in.OutShape, in.OutLayout)
-			if pad := ops.PaddedShapeNCHWc(physIn, n.Conv); pad != nil {
+			if n.Sched.Algorithm == machine.AlgoWinograd {
+				// Winograd pads implicitly in its data transform; its scratch
+				// is the per-tile-row V buffer instead.
+				b.wino = tensor.New(tensor.Flat(), ops.WinogradScratchShape(physIn, n.Conv)...)
+			} else if pad := ops.PaddedShapeNCHWc(physIn, n.Conv); pad != nil {
 				b.pad = tensor.New(in.OutLayout, pad...)
 			}
 		}

@@ -148,6 +148,99 @@ func TestConcurrentSessionsShareModule(t *testing.T) {
 	}
 }
 
+// winogradModule compiles TinyResNet at OptGlobalSearch and asserts the
+// search actually scheduled winograd convolutions (otherwise the tests built
+// on it would silently stop covering the winograd execution path).
+func winogradModule(t *testing.T, threads int, backend machine.ThreadBackend) *Module {
+	t.Helper()
+	m, err := Compile(models.TinyResNet(4), skylake(), Options{
+		Level: OptGlobalSearch, Threads: threads, Backend: backend,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	wino := 0
+	for _, n := range m.Graph.Convs() {
+		if n.Sched.Algorithm == machine.AlgoWinograd {
+			wino++
+		}
+	}
+	if wino == 0 {
+		t.Fatal("global search scheduled no winograd convolutions on tiny-resnet")
+	}
+	return m
+}
+
+func TestConcurrentWinogradSessions(t *testing.T) {
+	// Concurrent sessions over one winograd-planned module, run under -race
+	// in CI: the shared pre-transformed U weights are read-only, and each
+	// session owns its transform scratch, so nothing may race.
+	m := winogradModule(t, 4, machine.BackendPool)
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(23, 1)
+	want, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 6
+	const runsEach = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := m.NewSession()
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < runsEach; i++ {
+				outs, err := s.Run(context.Background(), in)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if tensor.MaxAbsDiff(want[0], outs[0]) != 0 {
+					errs <- errors.New("concurrent winograd session output diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestWinogradSessionArenaReuse(t *testing.T) {
+	// The winograd scratch comes from the session arena, so steady-state
+	// execution must allocate no more than the direct path's closure change.
+	m := winogradModule(t, 1, machine.BackendSerial)
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(5, 1)
+	s, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Run(ctx, in); err != nil {
+		t.Fatal(err)
+	}
+	sessAllocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.Run(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if limit := float64(2 * len(m.program)); sessAllocs > limit {
+		t.Fatalf("winograd session allocs/op = %v, want <= %v (program has %d nodes)", sessAllocs, limit, len(m.program))
+	}
+}
+
 func TestSessionContextCancellation(t *testing.T) {
 	m := sessionModule(t, 1, machine.BackendSerial)
 	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)

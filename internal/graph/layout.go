@@ -120,6 +120,20 @@ func AlterOpLayout(g *Graph, plan LayoutPlan, eliminate bool) error {
 			if !ok {
 				return fmt.Errorf("graph %q: no scheme for %v", g.Name, n)
 			}
+			if sched.Algorithm == machine.AlgoWinograd {
+				// The Winograd kernel exists only for the blocked layout and
+				// only computes 3x3 stride-1 convolutions; a plan that says
+				// otherwise is wrong and must fail at compile time, not read
+				// garbage at inference.
+				if sched.Layout.Kind != tensor.LayoutNCHWc {
+					return fmt.Errorf("graph %q: %v: winograd schedules require the NCHW[x]c layout, got %v",
+						g.Name, n, sched.Layout)
+				}
+				if !machine.WinogradSupported(n.Conv.KH, n.Conv.KW, n.Conv.StrideH, n.Conv.StrideW) {
+					return fmt.Errorf("graph %q: %v: winograd requires a 3x3 stride-1 convolution, got %dx%d stride %dx%d",
+						g.Name, n, n.Conv.KH, n.Conv.KW, n.Conv.StrideH, n.Conv.StrideW)
+				}
+			}
 			n.Sched = sched
 			switch sched.Layout.Kind {
 			case tensor.LayoutNCHW, tensor.LayoutNHWC:

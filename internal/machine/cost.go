@@ -44,20 +44,62 @@ func (w ConvWorkload) Key() string {
 		w.InC, w.InH, w.InW, w.OutC, w.KH, w.KW, w.StrideH, w.StrideW, w.PadH, w.PadW)
 }
 
+// ConvAlgorithm selects the convolution computation algorithm of a schedule.
+// The paper's Section 6 names "extending to other convolution computation
+// algorithms such as Winograd" as future work; here the algorithm is one more
+// searched dimension of the optimization scheme.
+type ConvAlgorithm int
+
+const (
+	// AlgoDirect is the Algorithm-1 direct template (the default; the zero
+	// value so pre-existing schedules and serialized plans mean direct).
+	AlgoDirect ConvAlgorithm = iota
+	// AlgoWinograd is the F(2x2, 3x3) Winograd algorithm: 2.25x fewer
+	// multiplies, paid for with per-tile data and inverse transforms.
+	AlgoWinograd
+)
+
+func (a ConvAlgorithm) String() string {
+	if a == AlgoWinograd {
+		return "winograd"
+	}
+	return "direct"
+}
+
+// WinogradSupported reports whether the F(2x2, 3x3) Winograd algorithm can
+// compute a convolution with the given kernel and stride: 3x3 kernels at
+// stride 1 only (any padding).
+func WinogradSupported(kh, kw, strideH, strideW int) bool {
+	return kh == 3 && kw == 3 && strideH == 1 && strideW == 1
+}
+
+// WinogradViable reports whether the Winograd algorithm applies to this
+// workload. The search only emits winograd candidates for viable workloads,
+// and plan loading rejects winograd entries on non-viable convolutions.
+func (w ConvWorkload) WinogradViable() bool {
+	return WinogradSupported(w.KH, w.KW, w.StrideH, w.StrideW)
+}
+
 // ConvSchedule is the optimization-scheme tuple of Section 3.3:
 // (ic_bn, oc_bn, reg_n, unroll_ker), plus the data layout the convolution
-// executes in. For NCHW/NHWC layouts the blocking fields are ignored.
+// executes in and the convolution algorithm (direct or winograd). For
+// NCHW/NHWC layouts the blocking fields are ignored; for winograd schedules
+// reg_n and unroll_ker are ignored (the kernel's tiling is fixed at 2x2).
 type ConvSchedule struct {
 	Layout    tensor.Layout // activation layout (NCHW, NHWC or NCHWc)
 	ICBlock   int           // ic_bn: input-channel split factor x
 	OCBlock   int           // oc_bn: output-channel split factor y
 	RegN      int           // reg_n: register-blocking width along out_width
 	UnrollKer bool          // unroll_ker: unroll the kernel-entry loop
+	Algorithm ConvAlgorithm // convolution algorithm (direct or winograd)
 }
 
 func (s ConvSchedule) String() string {
 	if s.Layout.Kind != tensor.LayoutNCHWc {
 		return fmt.Sprintf("{%v}", s.Layout)
+	}
+	if s.Algorithm == AlgoWinograd {
+		return fmt.Sprintf("{winograd ic_bn=%d oc_bn=%d}", s.ICBlock, s.OCBlock)
 	}
 	return fmt.Sprintf("{ic_bn=%d oc_bn=%d reg_n=%d unroll=%v}", s.ICBlock, s.OCBlock, s.RegN, s.UnrollKer)
 }
@@ -85,6 +127,30 @@ const (
 	// spillPenalty is the throughput factor once the schedule needs more
 	// accumulators than architectural vector registers.
 	spillPenalty = 0.42
+
+	// winogradMulSaving is F(2x2,3x3)'s 36 -> 16 multiply reduction per tile.
+	winogradMulSaving = 2.25
+	// peakFractionWinograd is the peak fraction the transform-domain products
+	// reach: slightly below the direct template because the 16 component
+	// accumulators are scattered rather than one contiguous register tile.
+	peakFractionWinograd = 0.46
+	// winogradAccumRegs is the transform-domain accumulator count per tile
+	// (one vector per Winograd component); like reg_n for the direct
+	// template, these must fit the register file or the kernel spills.
+	winogradAccumRegs = 16
+	// winogradXformOpsIn / winogradXformOpsOut are the scalar add-ops of the
+	// data transform Bᵀ d B per (tile, in-channel) and the inverse transform
+	// Aᵀ M A per (tile, out-channel). The weight transform G g Gᵀ runs at
+	// compile time and is free here.
+	winogradXformOpsIn  = 32
+	winogradXformOpsOut = 24
+	// winogradXformLaneEff is the fraction of vector lanes the strided
+	// transform gather/scatter loops keep busy.
+	winogradXformLaneEff = 0.45
+	// winogradInvalidSeconds prices a winograd schedule on a workload the
+	// algorithm cannot compute (non-3x3 or strided): large enough that no
+	// search keeps it, finite so solver arithmetic never produces NaN.
+	winogradInvalidSeconds = 1e6
 )
 
 // RegionOverhead returns the fork-join cost in seconds of launching one
@@ -108,8 +174,18 @@ func RegionOverhead(backend ThreadBackend, threads int) float64 {
 }
 
 // parallelUnits returns the number of independent work items a convolution
-// exposes to the thread pool: the outermost OFMAP chunks of Algorithm 1.
+// exposes to the thread pool: the outermost OFMAP chunks of Algorithm 1 for
+// the direct template, or the 2-row tile bands of the Winograd kernel (which
+// amortizes each data transform across every output channel, so its parallel
+// grain is per tile row rather than per output block).
 func parallelUnits(wl ConvWorkload, s ConvSchedule) int {
+	if s.Algorithm == AlgoWinograd && s.Layout.Kind == tensor.LayoutNCHWc {
+		units := (wl.OutH() + 1) / 2
+		if units < 1 {
+			units = 1
+		}
+		return units
+	}
 	oc := wl.OutC
 	ocb := s.OCBlock
 	if s.Layout.Kind != tensor.LayoutNCHWc || ocb <= 0 {
@@ -156,7 +232,10 @@ func (t *Target) ConvEfficiency(wl ConvWorkload, s ConvSchedule) float64 {
 	case tensor.LayoutNHWC:
 		return peakFractionDirect * layoutFactorNHWC
 	case tensor.LayoutNCHWc:
-		// fall through to the blocked model below
+		if s.Algorithm == AlgoWinograd {
+			return t.winogradEfficiency(wl, s)
+		}
+		// fall through to the blocked direct model below
 	default:
 		return peakFractionDirect * layoutFactorNCHW
 	}
@@ -234,6 +313,67 @@ func (t *Target) ConvEfficiency(wl ConvWorkload, s ConvSchedule) float64 {
 	return peakFractionDirect * laneUtil * latHide * pressure * tail * cacheF * chanF * unrollF
 }
 
+// winogradEfficiency is the blocked-schedule quality model for the Winograd
+// kernel's transform-domain products. The knobs differ from the direct
+// template: the tile shape is fixed at 2x2 (no reg_n), and the accumulator
+// tile is the 16 Winograd components — wide enough to hide FMA latency on
+// every target, but spilling on register files below 18 vector registers
+// (AVX2's 16: the structural reason Winograd wins less there).
+func (t *Target) winogradEfficiency(wl ConvWorkload, s ConvSchedule) float64 {
+	lanes := t.VectorLanes
+	var laneUtil float64
+	switch {
+	case s.OCBlock%lanes == 0:
+		laneUtil = 1
+	case s.OCBlock > lanes:
+		full := s.OCBlock / lanes
+		laneUtil = float64(s.OCBlock) / float64((full+1)*lanes)
+	default:
+		laneUtil = float64(s.OCBlock) / float64(lanes)
+	}
+
+	// 16 component accumulators + 1 U vector + 1 V broadcast in flight.
+	pressure := 1.0
+	if winogradAccumRegs+2 > t.NumVecRegs {
+		pressure = spillPenalty
+	}
+
+	// Tail waste of the 2x2 output tiling on odd feature-map sizes.
+	oh, ow := wl.OutH(), wl.OutW()
+	tiles := ((oh + 1) / 2) * ((ow + 1) / 2)
+	tail := float64(oh*ow) / float64(tiles*4)
+
+	// Cache residence: the reduction streams the transformed weight slab
+	// (16 components x in-channels x oc_bn) plus the V tiles (16 x
+	// in-channels) per output block — a larger working set than the direct
+	// template's one kernel slab.
+	ws := 4 * (winogradAccumRegs*wl.InC*s.OCBlock + winogradAccumRegs*wl.InC + winogradAccumRegs*s.OCBlock)
+	var cacheF float64
+	switch {
+	case ws <= t.L1DKB*1024:
+		cacheF = 1
+	case ws <= t.L2KB*1024:
+		cacheF = 0.88
+	default:
+		cacheF = 0.6
+	}
+
+	chanF := 1.0
+	if s.ICBlock < 4 {
+		chanF = 0.82
+	}
+	return peakFractionWinograd * laneUtil * pressure * tail * cacheF * chanF
+}
+
+// winogradXformSeconds prices the per-inference data and inverse transforms:
+// scalar-add heavy loops that vectorize over channels at partial lane
+// utilization.
+func (t *Target) winogradXformSeconds(wl ConvWorkload) float64 {
+	tiles := float64(((wl.OutH() + 1) / 2) * ((wl.OutW() + 1) / 2))
+	ops := tiles * (float64(wl.InC)*winogradXformOpsIn + float64(wl.OutC)*winogradXformOpsOut)
+	return ops / (t.FreqGHz * 1e9 * float64(t.VectorLanes) * winogradXformLaneEff)
+}
+
 // ConvTime predicts the wall-clock seconds of one convolution under the
 // given schedule, thread count and threading backend. kernelQuality scales
 // the single-thread efficiency and models how well an engine's kernels are
@@ -246,12 +386,28 @@ func (t *Target) ConvTime(wl ConvWorkload, s ConvSchedule, threads int, backend 
 	if threads > t.Cores {
 		threads = t.Cores
 	}
+	winograd := s.Algorithm == AlgoWinograd && s.Layout.Kind == tensor.LayoutNCHWc
+	if winograd && !wl.WinogradViable() {
+		return winogradInvalidSeconds
+	}
 	eff := t.ConvEfficiency(wl, s) * kernelQuality
 	if eff <= 0 {
 		eff = 1e-4
 	}
 	flops := wl.FLOPs()
+	if winograd {
+		// 2.25x fewer multiplies in the transform domain, plus the per-tile
+		// data and inverse transforms the saving pays for.
+		flops = flops / winogradMulSaving
+	}
 	compute := flops / (t.PeakCoreGFLOPS() * 1e9 * eff)
+	if winograd {
+		kq := kernelQuality
+		if kq <= 0 {
+			kq = 1e-4
+		}
+		compute += t.winogradXformSeconds(wl) / kq
+	}
 
 	units := parallelUnits(wl, s)
 	pe := t.ParallelEfficiency(units, threads)
@@ -341,6 +497,10 @@ func (t *Target) Int8Factor() float64 {
 // throughput factor, with the memory floor shrunk by the 4x smaller
 // operands.
 func (t *Target) Int8ConvTime(wl ConvWorkload, s ConvSchedule, threads int, backend ThreadBackend, kernelQuality float64) float64 {
+	// Quantized convolution has no winograd kernel (the transform-domain
+	// products would need widening well past int32); int8 modules always
+	// execute the direct template, so price that.
+	s.Algorithm = AlgoDirect
 	if threads < 1 {
 		threads = 1
 	}

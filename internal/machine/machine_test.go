@@ -99,6 +99,114 @@ func TestBlockedBeatsNCHW(t *testing.T) {
 	}
 }
 
+func winogradSchedule(t *Target) ConvSchedule {
+	s := goodSchedule(t)
+	s.Algorithm = AlgoWinograd
+	s.RegN, s.UnrollKer = 1, false
+	return s
+}
+
+func TestWinogradViability(t *testing.T) {
+	if !resnetConv.WinogradViable() {
+		t.Fatal("3x3 stride-1 workload must be winograd-viable")
+	}
+	strided := resnetConv
+	strided.StrideH, strided.StrideW = 2, 2
+	if strided.WinogradViable() {
+		t.Fatal("strided workload must not be winograd-viable")
+	}
+	oneByOne := resnetConv
+	oneByOne.KH, oneByOne.KW = 1, 1
+	if oneByOne.WinogradViable() {
+		t.Fatal("1x1 workload must not be winograd-viable")
+	}
+	if !WinogradSupported(3, 3, 1, 1) || WinogradSupported(5, 5, 1, 1) {
+		t.Fatal("WinogradSupported gate wrong")
+	}
+}
+
+func TestWinogradBeatsDirectOnViableWorkloads(t *testing.T) {
+	// The algorithm dimension's raison d'être: on AVX-512, a ResNet-style
+	// 3x3 stride-1 convolution runs faster under winograd (2.25x fewer
+	// multiplies) despite the transform overhead.
+	tgt := IntelSkylakeC5()
+	direct := tgt.ConvTime(resnetConv, goodSchedule(tgt), 1, BackendSerial, 1)
+	wino := tgt.ConvTime(resnetConv, winogradSchedule(tgt), 1, BackendSerial, 1)
+	if wino >= direct {
+		t.Fatalf("winograd %.3gs should beat direct %.3gs on 3x3 stride-1", wino, direct)
+	}
+	// But never by more than the multiply reduction itself.
+	if direct/wino > winogradMulSaving {
+		t.Fatalf("winograd speedup %.2fx exceeds the %.2fx multiply saving", direct/wino, winogradMulSaving)
+	}
+}
+
+func TestWinogradSpillsOnNarrowRegisterFiles(t *testing.T) {
+	// AVX2 has 16 vector registers; the 16 transform-domain accumulators
+	// plus operands spill, so winograd's edge shrinks (and can invert)
+	// relative to AVX-512 — the structural reason the *search* decides
+	// per target instead of always preferring winograd.
+	intel := IntelSkylakeC5()
+	amd := AMDEpycM5a()
+	gainIntel := intel.ConvTime(resnetConv, goodSchedule(intel), 1, BackendSerial, 1) /
+		intel.ConvTime(resnetConv, winogradSchedule(intel), 1, BackendSerial, 1)
+	gainAMD := amd.ConvTime(resnetConv, goodSchedule(amd), 1, BackendSerial, 1) /
+		amd.ConvTime(resnetConv, winogradSchedule(amd), 1, BackendSerial, 1)
+	if gainAMD >= gainIntel {
+		t.Fatalf("winograd gain on AVX2 (%.2fx) should trail AVX-512 (%.2fx)", gainAMD, gainIntel)
+	}
+}
+
+func TestWinogradInvalidWorkloadPricedOut(t *testing.T) {
+	tgt := IntelSkylakeC5()
+	strided := resnetConv
+	strided.StrideH, strided.StrideW = 2, 2
+	bad := tgt.ConvTime(strided, winogradSchedule(tgt), 1, BackendSerial, 1)
+	good := tgt.ConvTime(strided, goodSchedule(tgt), 1, BackendSerial, 1)
+	if bad < 1e3 || bad <= good {
+		t.Fatalf("winograd on a strided workload must be priced out (got %.3gs vs direct %.3gs)", bad, good)
+	}
+	// Finite, so solver cost sums never go NaN.
+	if bad != bad || bad > 1e12 {
+		t.Fatalf("invalid-schedule price must be finite: %v", bad)
+	}
+}
+
+func TestWinogradTransformOverheadGrowsWithChannels(t *testing.T) {
+	// Small-channel workloads amortize the transforms poorly: the winograd
+	// advantage must shrink as channels drop.
+	tgt := IntelSkylakeC5()
+	small := ConvWorkload{InC: 8, InH: 28, InW: 28, OutC: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	sSmall := ConvSchedule{Layout: tensor.NCHWc(8), ICBlock: 8, OCBlock: 8, RegN: 1, Algorithm: AlgoWinograd}
+	dSmall := ConvSchedule{Layout: tensor.NCHWc(8), ICBlock: 8, OCBlock: 8, RegN: 8, UnrollKer: true}
+	gainSmall := tgt.ConvTime(small, dSmall, 1, BackendSerial, 1) / tgt.ConvTime(small, sSmall, 1, BackendSerial, 1)
+	gainBig := tgt.ConvTime(resnetConv, goodSchedule(tgt), 1, BackendSerial, 1) /
+		tgt.ConvTime(resnetConv, winogradSchedule(tgt), 1, BackendSerial, 1)
+	if gainSmall >= gainBig {
+		t.Fatalf("winograd gain should shrink with channels: %d-ch %.2fx vs %d-ch %.2fx",
+			small.InC, gainSmall, resnetConv.InC, gainBig)
+	}
+}
+
+func TestInt8IgnoresWinograd(t *testing.T) {
+	// There is no quantized winograd kernel: the int8 predictor prices the
+	// direct template regardless of the schedule's algorithm field.
+	tgt := IntelSkylakeC5()
+	d := tgt.Int8ConvTime(resnetConv, goodSchedule(tgt), 1, BackendSerial, 1)
+	w := tgt.Int8ConvTime(resnetConv, winogradSchedule(tgt), 1, BackendSerial, 1)
+	// reg_n differs between the two schedules, so compare with algorithm
+	// normalized out.
+	s := winogradSchedule(tgt)
+	s.Algorithm = AlgoDirect
+	wNorm := tgt.Int8ConvTime(resnetConv, s, 1, BackendSerial, 1)
+	if w != wNorm {
+		t.Fatalf("int8 time must ignore the algorithm field: %v vs %v", w, wNorm)
+	}
+	if d <= 0 || w <= 0 {
+		t.Fatal("int8 times must be positive")
+	}
+}
+
 func TestEfficiencyRewardsLatencyHiding(t *testing.T) {
 	tgt := IntelSkylakeC5()
 	s := goodSchedule(tgt)

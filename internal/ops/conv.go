@@ -219,7 +219,17 @@ func Conv2DNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor.Tensor, 
 
 	padded := padNCHWc(in, attrs.PadH, attrs.PadW, padScratch)
 	ph, pw := padded.Shape[2], padded.Shape[3]
-	_ = ph
+	// The kernel indexes the padded buffer without per-access bounds checks,
+	// so a schedule whose geometry does not cover the output must fail loudly
+	// here rather than read garbage (or panic mid-parallel-region).
+	if need := (oh-1)*attrs.StrideH + kh; ph < need {
+		panic(fmt.Sprintf("ops: padded input height %d cannot cover output height %d (need %d rows for stride %d, kernel %d)",
+			ph, oh, need, attrs.StrideH, kh))
+	}
+	if need := (ow-1)*attrs.StrideW + kw; pw < need {
+		panic(fmt.Sprintf("ops: padded input width %d cannot cover output width %d (need %d cols for stride %d, kernel %d)",
+			pw, ow, need, attrs.StrideW, kw))
+	}
 
 	// One parallel unit per (batch, oc.outer, oh) row: the disjoint OFMAP
 	// chunks of Algorithm 1 line 8.
@@ -267,10 +277,7 @@ func Conv2DNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor.Tensor, 
 								wVec := weight.Data[wRS+ii*ocb : wRS+ii*ocb+ocb]
 								for i := 0; i < tile; i++ {
 									iv := padded.Data[rowOff+((owo+i)*attrs.StrideW+s)*icb+ii]
-									a := acc[i*ocb : i*ocb+ocb]
-									for oi := range wVec {
-										a[oi] += iv * wVec[oi]
-									}
+									axpy(acc[i*ocb:i*ocb+ocb], wVec, iv, ocb)
 								}
 							}
 						}
@@ -307,24 +314,63 @@ func Conv2DNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor.Tensor, 
 	return out
 }
 
+// axpy computes a[:ocb] += x * w[:ocb], the direct template's innermost FMA.
+// The vector-width block sizes real schedules pick (the oc_bn values that
+// fill 4/8/16 fp32 lanes) are specialized with fixed-size array pointers:
+// the conversion performs one length check, after which the constant-bound
+// loop compiles without per-element bounds checks.
+func axpy(a, w []float32, x float32, ocb int) {
+	switch ocb {
+	case 4:
+		ap, wp := (*[4]float32)(a), (*[4]float32)(w)
+		for oi := 0; oi < 4; oi++ {
+			ap[oi] += x * wp[oi]
+		}
+	case 8:
+		ap, wp := (*[8]float32)(a), (*[8]float32)(w)
+		for oi := 0; oi < 8; oi++ {
+			ap[oi] += x * wp[oi]
+		}
+	case 16:
+		ap, wp := (*[16]float32)(a), (*[16]float32)(w)
+		for oi := 0; oi < 16; oi++ {
+			ap[oi] += x * wp[oi]
+		}
+	default:
+		for oi := range w {
+			a[oi] += x * w[oi]
+		}
+	}
+}
+
 // conv3x3Tile is the unroll_ker=true specialization for 3x3 kernels: the
-// (kh,kw) loop is fully unrolled so the bounds are compile-time constants.
+// (kh,kw) loop is fully unrolled so the bounds are compile-time constants,
+// and the vector-width oc_bn values dispatch to bounds-check-free bodies.
 func conv3x3Tile(in, wt, acc []float32, inBase, wCI, pw, icb, ocb, tile, owo, strideW int) {
-	for r := 0; r < 3; r++ {
-		rowOff := inBase + r*pw*icb
-		wR := wCI + r*3*icb*ocb
-		for ii := 0; ii < icb; ii++ {
-			w0 := wt[wR+ii*ocb : wR+ii*ocb+ocb]
-			w1 := wt[wR+(icb+ii)*ocb : wR+(icb+ii)*ocb+ocb]
-			w2 := wt[wR+(2*icb+ii)*ocb : wR+(2*icb+ii)*ocb+ocb]
-			for i := 0; i < tile; i++ {
-				base := rowOff + (owo+i)*strideW*icb + ii
-				iv0 := in[base]
-				iv1 := in[base+icb]
-				iv2 := in[base+2*icb]
-				a := acc[i*ocb : i*ocb+ocb]
-				for oi := range a {
-					a[oi] += iv0*w0[oi] + iv1*w1[oi] + iv2*w2[oi]
+	switch ocb {
+	case 4:
+		conv3x3Tile4(in, wt, acc, inBase, wCI, pw, icb, tile, owo, strideW)
+	case 8:
+		conv3x3Tile8(in, wt, acc, inBase, wCI, pw, icb, tile, owo, strideW)
+	case 16:
+		conv3x3Tile16(in, wt, acc, inBase, wCI, pw, icb, tile, owo, strideW)
+	default:
+		for r := 0; r < 3; r++ {
+			rowOff := inBase + r*pw*icb
+			wR := wCI + r*3*icb*ocb
+			for ii := 0; ii < icb; ii++ {
+				w0 := wt[wR+ii*ocb : wR+ii*ocb+ocb]
+				w1 := wt[wR+(icb+ii)*ocb : wR+(icb+ii)*ocb+ocb]
+				w2 := wt[wR+(2*icb+ii)*ocb : wR+(2*icb+ii)*ocb+ocb]
+				for i := 0; i < tile; i++ {
+					base := rowOff + (owo+i)*strideW*icb + ii
+					iv0 := in[base]
+					iv1 := in[base+icb]
+					iv2 := in[base+2*icb]
+					a := acc[i*ocb : i*ocb+ocb]
+					for oi := range a {
+						a[oi] += iv0*w0[oi] + iv1*w1[oi] + iv2*w2[oi]
+					}
 				}
 			}
 		}
@@ -334,12 +380,131 @@ func conv3x3Tile(in, wt, acc []float32, inBase, wCI, pw, icb, ocb, tile, owo, st
 // conv1x1Tile is the unroll_ker=true specialization for 1x1 kernels.
 func conv1x1Tile(in, wt, acc []float32, inBase, wCI, pw, icb, ocb, tile, owo, strideW int) {
 	_ = pw
+	switch ocb {
+	case 4:
+		conv1x1Tile4(in, wt, acc, inBase, wCI, icb, tile, owo, strideW)
+	case 8:
+		conv1x1Tile8(in, wt, acc, inBase, wCI, icb, tile, owo, strideW)
+	case 16:
+		conv1x1Tile16(in, wt, acc, inBase, wCI, icb, tile, owo, strideW)
+	default:
+		for ii := 0; ii < icb; ii++ {
+			wv := wt[wCI+ii*ocb : wCI+ii*ocb+ocb]
+			for i := 0; i < tile; i++ {
+				iv := in[inBase+(owo+i)*strideW*icb+ii]
+				a := acc[i*ocb : i*ocb+ocb]
+				for oi := range a {
+					a[oi] += iv * wv[oi]
+				}
+			}
+		}
+	}
+}
+
+// The oc_bn-specialized tile bodies. Each is the generic loop with ocb fixed
+// at a compile-time constant and every slice re-expressed as a fixed-size
+// array pointer, which eliminates the bounds check on each of the three
+// multiply-accumulates in the hottest loop in the repository.
+
+func conv3x3Tile4(in, wt, acc []float32, inBase, wCI, pw, icb, tile, owo, strideW int) {
+	const ocb = 4
+	for r := 0; r < 3; r++ {
+		rowOff := inBase + r*pw*icb
+		wR := wCI + r*3*icb*ocb
+		for ii := 0; ii < icb; ii++ {
+			w0 := (*[ocb]float32)(wt[wR+ii*ocb:])
+			w1 := (*[ocb]float32)(wt[wR+(icb+ii)*ocb:])
+			w2 := (*[ocb]float32)(wt[wR+(2*icb+ii)*ocb:])
+			for i := 0; i < tile; i++ {
+				base := rowOff + (owo+i)*strideW*icb + ii
+				iv0, iv1, iv2 := in[base], in[base+icb], in[base+2*icb]
+				a := (*[ocb]float32)(acc[i*ocb:])
+				for oi := 0; oi < ocb; oi++ {
+					a[oi] += iv0*w0[oi] + iv1*w1[oi] + iv2*w2[oi]
+				}
+			}
+		}
+	}
+}
+
+func conv3x3Tile8(in, wt, acc []float32, inBase, wCI, pw, icb, tile, owo, strideW int) {
+	const ocb = 8
+	for r := 0; r < 3; r++ {
+		rowOff := inBase + r*pw*icb
+		wR := wCI + r*3*icb*ocb
+		for ii := 0; ii < icb; ii++ {
+			w0 := (*[ocb]float32)(wt[wR+ii*ocb:])
+			w1 := (*[ocb]float32)(wt[wR+(icb+ii)*ocb:])
+			w2 := (*[ocb]float32)(wt[wR+(2*icb+ii)*ocb:])
+			for i := 0; i < tile; i++ {
+				base := rowOff + (owo+i)*strideW*icb + ii
+				iv0, iv1, iv2 := in[base], in[base+icb], in[base+2*icb]
+				a := (*[ocb]float32)(acc[i*ocb:])
+				for oi := 0; oi < ocb; oi++ {
+					a[oi] += iv0*w0[oi] + iv1*w1[oi] + iv2*w2[oi]
+				}
+			}
+		}
+	}
+}
+
+func conv3x3Tile16(in, wt, acc []float32, inBase, wCI, pw, icb, tile, owo, strideW int) {
+	const ocb = 16
+	for r := 0; r < 3; r++ {
+		rowOff := inBase + r*pw*icb
+		wR := wCI + r*3*icb*ocb
+		for ii := 0; ii < icb; ii++ {
+			w0 := (*[ocb]float32)(wt[wR+ii*ocb:])
+			w1 := (*[ocb]float32)(wt[wR+(icb+ii)*ocb:])
+			w2 := (*[ocb]float32)(wt[wR+(2*icb+ii)*ocb:])
+			for i := 0; i < tile; i++ {
+				base := rowOff + (owo+i)*strideW*icb + ii
+				iv0, iv1, iv2 := in[base], in[base+icb], in[base+2*icb]
+				a := (*[ocb]float32)(acc[i*ocb:])
+				for oi := 0; oi < ocb; oi++ {
+					a[oi] += iv0*w0[oi] + iv1*w1[oi] + iv2*w2[oi]
+				}
+			}
+		}
+	}
+}
+
+func conv1x1Tile4(in, wt, acc []float32, inBase, wCI, icb, tile, owo, strideW int) {
+	const ocb = 4
 	for ii := 0; ii < icb; ii++ {
-		wv := wt[wCI+ii*ocb : wCI+ii*ocb+ocb]
+		wv := (*[ocb]float32)(wt[wCI+ii*ocb:])
 		for i := 0; i < tile; i++ {
 			iv := in[inBase+(owo+i)*strideW*icb+ii]
-			a := acc[i*ocb : i*ocb+ocb]
-			for oi := range a {
+			a := (*[ocb]float32)(acc[i*ocb:])
+			for oi := 0; oi < ocb; oi++ {
+				a[oi] += iv * wv[oi]
+			}
+		}
+	}
+}
+
+func conv1x1Tile8(in, wt, acc []float32, inBase, wCI, icb, tile, owo, strideW int) {
+	const ocb = 8
+	for ii := 0; ii < icb; ii++ {
+		wv := (*[ocb]float32)(wt[wCI+ii*ocb:])
+		for i := 0; i < tile; i++ {
+			iv := in[inBase+(owo+i)*strideW*icb+ii]
+			a := (*[ocb]float32)(acc[i*ocb:])
+			for oi := 0; oi < ocb; oi++ {
+				a[oi] += iv * wv[oi]
+			}
+		}
+	}
+}
+
+func conv1x1Tile16(in, wt, acc []float32, inBase, wCI, icb, tile, owo, strideW int) {
+	const ocb = 16
+	for ii := 0; ii < icb; ii++ {
+		wv := (*[ocb]float32)(wt[wCI+ii*ocb:])
+		for i := 0; i < tile; i++ {
+			iv := in[inBase+(owo+i)*strideW*icb+ii]
+			a := (*[ocb]float32)(acc[i*ocb:])
+			for oi := 0; oi < ocb; oi++ {
 				a[oi] += iv * wv[oi]
 			}
 		}

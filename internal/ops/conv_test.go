@@ -68,8 +68,13 @@ func TestConvNCHWcMatchesReference(t *testing.T) {
 	}{
 		{"3x3-pad1", 16, 14, 14, 32, 3, 3, 1, 1, 1, 1, 8, 16, 4, false},
 		{"3x3-pad1-unroll", 16, 14, 14, 32, 3, 3, 1, 1, 1, 1, 8, 16, 4, true},
+		{"3x3-ocb4-unroll", 16, 14, 14, 32, 3, 3, 1, 1, 1, 1, 8, 4, 4, true},
+		{"3x3-ocb8-unroll", 16, 14, 14, 32, 3, 3, 1, 1, 1, 1, 8, 8, 4, true},
+		{"3x3-generic-ocb", 12, 11, 11, 24, 3, 3, 1, 1, 1, 1, 6, 12, 4, true},
 		{"1x1", 32, 7, 7, 64, 1, 1, 1, 1, 0, 0, 16, 16, 2, false},
 		{"1x1-unroll", 32, 7, 7, 64, 1, 1, 1, 1, 0, 0, 16, 16, 2, true},
+		{"1x1-ocb4-unroll", 32, 7, 7, 64, 1, 1, 1, 1, 0, 0, 16, 4, 2, true},
+		{"1x1-ocb8-unroll", 32, 7, 7, 64, 1, 1, 1, 1, 0, 0, 16, 8, 2, true},
 		{"stride2", 16, 15, 15, 16, 3, 3, 2, 2, 1, 1, 4, 8, 8, false},
 		{"stride2-unroll", 16, 15, 15, 16, 3, 3, 2, 2, 1, 1, 4, 8, 8, true},
 		{"5x5", 8, 12, 12, 16, 5, 5, 1, 1, 2, 2, 8, 8, 4, false},
@@ -196,6 +201,19 @@ func TestConvNCHWcRejectsBadLayouts(t *testing.T) {
 	})
 	mustPanic(t, func() {
 		Conv2DNCHWc(blockedIn, blockedWt, attrs, 4, 4, 0, false, Epilogue{}, nil) // bad reg_n
+	})
+}
+
+func TestConvNCHWcRejectsUncoverableGeometry(t *testing.T) {
+	// An input smaller than the kernel with no padding: truncating integer
+	// division makes the nominal output size 1 even though the kernel
+	// window falls off the data. The kernel must refuse loudly instead of
+	// reading out of bounds.
+	in := tensor.New(tensor.NCHWc(4), 1, 1, 1, 1, 4) // 1x1 spatial
+	wt := tensor.New(tensor.OIHWio(4, 4), 1, 1, 3, 3, 4, 4)
+	attrs := Conv2DAttrs{OutC: 4, KH: 3, KW: 3, StrideH: 3, StrideW: 3}
+	mustPanic(t, func() {
+		Conv2DNCHWc(in, wt, attrs, 4, 4, 2, false, Epilogue{}, nil)
 	})
 }
 

@@ -60,6 +60,250 @@ func WinogradWeightTransform(weight *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// WinogradWeightTransformNCHWc computes U = G g Gᵀ for a 3x3 OIHW weight and
+// packs it for the blocked kernel as a flat tensor of shape
+// (16, O/ocb, I/icb, icb, ocb): transform-component major, then the output
+// block, then contiguous input channels with the ocb sub-channels innermost —
+// so the transform-domain reduction's inner fmadd runs over a dense ocb-wide
+// vector, exactly like the direct template's weight slab. Like PackWeights,
+// this runs once at compile time.
+func WinogradWeightTransformNCHWc(weight *tensor.Tensor, icb, ocb int) *tensor.Tensor {
+	u := WinogradWeightTransform(weight) // (16, O, I)
+	o, i := u.Shape[1], u.Shape[2]
+	if icb <= 0 || i%icb != 0 {
+		panic(fmt.Sprintf("ops: in-channels %d not divisible by block %d", i, icb))
+	}
+	if ocb <= 0 || o%ocb != 0 {
+		panic(fmt.Sprintf("ops: out-channels %d not divisible by block %d", o, ocb))
+	}
+	oOuter, iOuter := o/ocb, i/icb
+	out := tensor.New(tensor.Flat(), 16, oOuter, iOuter, icb, ocb)
+	for xi := 0; xi < 16; xi++ {
+		for oc := 0; oc < o; oc++ {
+			for ic := 0; ic < i; ic++ {
+				v := u.Data[(xi*o+oc)*i+ic]
+				dst := ((((xi*oOuter+oc/ocb)*iOuter+ic/icb)*icb + ic%icb) * ocb) + oc%ocb
+				out.Data[dst] = v
+			}
+		}
+	}
+	return out
+}
+
+// WinogradScratchShape returns the buffer shape Conv2DWinogradNCHWcInto needs
+// for its per-tile-row transform scratch (the V tiles of every input channel),
+// given the blocked input's physical NCHW[x]c shape. One row per parallel
+// unit, so concurrent units never share a slice; Sessions use it to size
+// arenas once and keep steady-state execution allocation-free.
+func WinogradScratchShape(inShape []int, attrs Conv2DAttrs) []int {
+	n, icOuter, h, w, icb := inShape[0], inShape[1], inShape[2], inShape[3], inShape[4]
+	oh, _ := attrs.OutSize(h, w)
+	tilesH := (oh + 1) / 2
+	return []int{n * tilesH, 16 * icOuter * icb}
+}
+
+// Conv2DWinogradNCHWc is the Winograd F(2x2, 3x3) convolution in the blocked
+// NCHW[x]c layout: it consumes NCHW[icb]c activations and produces
+// NCHW[ocb]c, presenting exactly the direct template's layout interface so
+// graph-level transform elimination applies unchanged. Weights must be
+// pre-transformed by WinogradWeightTransformNCHWc.
+func Conv2DWinogradNCHWc(in, transformed *tensor.Tensor, attrs Conv2DAttrs, icb, ocb int, epi Epilogue, pf ParallelFor) *tensor.Tensor {
+	return Conv2DWinogradNCHWcInto(nil, nil, in, transformed, attrs, icb, ocb, epi, pf)
+}
+
+// Conv2DWinogradNCHWcInto is Conv2DWinogradNCHWc writing into caller-provided
+// buffers: dst receives the blocked output and scratch (sized per
+// WinogradScratchShape) holds the per-row V tiles. Either may be nil, in
+// which case it is allocated. Padding is applied implicitly by the data
+// transform's border handling — no explicit padding scratch is needed.
+func Conv2DWinogradNCHWcInto(dst, scratch *tensor.Tensor, in, transformed *tensor.Tensor, attrs Conv2DAttrs, icb, ocb int, epi Epilogue, pf ParallelFor) *tensor.Tensor {
+	if in.Layout.Kind != tensor.LayoutNCHWc || in.Layout.BlockC != icb {
+		panic(fmt.Sprintf("ops: Conv2DWinogradNCHWc expects NCHW%dc input, got %v", icb, in.Layout))
+	}
+	if attrs.KH != 3 || attrs.KW != 3 || attrs.StrideH != 1 || attrs.StrideW != 1 {
+		panic("ops: Conv2DWinogradNCHWc supports 3x3 stride-1 convolutions only")
+	}
+	n, icOuter, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	c := icOuter * icb
+	ocOuter := transformed.Shape[1]
+	if transformed.Shape[0] != 16 || transformed.Shape[2] != icOuter ||
+		transformed.Shape[3] != icb || transformed.Shape[4] != ocb {
+		panic(fmt.Sprintf("ops: transformed weight shape %v inconsistent with NCHW%dc input (%d blocks) and oc_bn %d",
+			transformed.Shape, icb, icOuter, ocb))
+	}
+	if attrs.OutC != ocOuter*ocb {
+		panic(fmt.Sprintf("ops: transformed weight covers %d output channels, attrs want %d", ocOuter*ocb, attrs.OutC))
+	}
+	oh, ow := attrs.OutSize(h, w)
+	out := tensor.EnsureDst(dst, tensor.NCHWc(ocb), n, ocOuter, oh, ow, ocb)
+	if pf == nil {
+		pf = Serial
+	}
+
+	tilesH := (oh + 1) / 2
+	tilesW := (ow + 1) / 2
+	vscr := tensor.EnsureDst(scratch, tensor.Flat(), n*tilesH, 16*c)
+	uStride := icOuter * icb * ocb // one (component, oc-block) slab
+
+	// One parallel unit per (batch, tile row): the data transform of each
+	// tile is computed once and amortized across every output block.
+	pf(n*tilesH, func(unit int) {
+		b := unit / tilesH
+		th := unit % tilesH
+		v := vscr.Data[unit*16*c : (unit+1)*16*c]
+		// Component accumulators for one output block. The fixed-size backing
+		// array keeps the tile on the goroutine stack (no per-row allocation)
+		// for every oc_bn the schedule space emits.
+		var mArr [1024]float32
+		var m []float32
+		if 16*ocb <= len(mArr) {
+			m = mArr[:16*ocb]
+		} else {
+			m = make([]float32, 16*ocb)
+		}
+
+		for tw := 0; tw < tilesW; tw++ {
+			oy := th * 2
+			ox := tw * 2
+			iy0 := oy - attrs.PadH
+			ix0 := ox - attrs.PadW
+
+			// V = Bᵀ d B per input channel, read from the blocked layout.
+			for coi := 0; coi < icOuter; coi++ {
+				rowBase := (b*icOuter + coi) * h
+				for ii := 0; ii < icb; ii++ {
+					ch := coi*icb + ii
+					var d [4][4]float32
+					for r := 0; r < 4; r++ {
+						iy := iy0 + r
+						if iy < 0 || iy >= h {
+							continue
+						}
+						row := in.Data[(rowBase+iy)*w*icb:]
+						for cc := 0; cc < 4; cc++ {
+							ix := ix0 + cc
+							if ix >= 0 && ix < w {
+								d[r][cc] = row[ix*icb+ii]
+							}
+						}
+					}
+					// t = Bᵀ d, with Bᵀ = [1 0 -1 0; 0 1 1 0; 0 -1 1 0; 0 1 0 -1].
+					var t [4][4]float32
+					for cc := 0; cc < 4; cc++ {
+						t[0][cc] = d[0][cc] - d[2][cc]
+						t[1][cc] = d[1][cc] + d[2][cc]
+						t[2][cc] = d[2][cc] - d[1][cc]
+						t[3][cc] = d[1][cc] - d[3][cc]
+					}
+					// V = t B.
+					for r := 0; r < 4; r++ {
+						v[(r*4+0)*c+ch] = t[r][0] - t[r][2]
+						v[(r*4+1)*c+ch] = t[r][1] + t[r][2]
+						v[(r*4+2)*c+ch] = t[r][2] - t[r][1]
+						v[(r*4+3)*c+ch] = t[r][1] - t[r][3]
+					}
+				}
+			}
+
+			for co := 0; co < ocOuter; co++ {
+				// M[xi][:] = Σ_ch U[xi][co][ch][:] * V[xi][ch]: the transform-
+				// domain product, reduced over all input channels with the
+				// ocb sub-channels vectorized like the direct template.
+				for i := range m {
+					m[i] = 0
+				}
+				for xi := 0; xi < 16; xi++ {
+					uRow := transformed.Data[(xi*ocOuter+co)*uStride : (xi*ocOuter+co+1)*uStride]
+					winogradAccum(m[xi*ocb:xi*ocb+ocb], uRow, v[xi*c:xi*c+c], ocb)
+				}
+
+				// Y = Aᵀ M A per output sub-channel, Aᵀ = [1 1 1 0; 0 1 -1 -1].
+				outBase := (b*ocOuter + co) * oh
+				for oi := 0; oi < ocb; oi++ {
+					var mm [4][4]float32
+					for r := 0; r < 4; r++ {
+						for cc := 0; cc < 4; cc++ {
+							mm[r][cc] = m[(r*4+cc)*ocb+oi]
+						}
+					}
+					var t0, t1 [4]float32
+					for cc := 0; cc < 4; cc++ {
+						t0[cc] = mm[0][cc] + mm[1][cc] + mm[2][cc]
+						t1[cc] = mm[1][cc] - mm[2][cc] - mm[3][cc]
+					}
+					y00 := t0[0] + t0[1] + t0[2]
+					y01 := t0[1] - t0[2] - t0[3]
+					y10 := t1[0] + t1[1] + t1[2]
+					y11 := t1[1] - t1[2] - t1[3]
+
+					store := func(dy, dx int, val float32) {
+						yy, xx := oy+dy, ox+dx
+						if yy >= oh || xx >= ow {
+							return
+						}
+						idx := ((outBase+yy)*ow+xx)*ocb + oi
+						if epi.Bias != nil {
+							val += epi.Bias[co*ocb+oi]
+						}
+						if epi.Residual != nil {
+							val += epi.Residual.Data[idx]
+						}
+						if epi.ReLU {
+							val = relu32(val)
+						}
+						out.Data[idx] = val
+					}
+					store(0, 0, y00)
+					store(0, 1, y01)
+					store(1, 0, y10)
+					store(1, 1, y11)
+				}
+			}
+		}
+	})
+	return out
+}
+
+// winogradAccum computes m[:ocb] += v[ch] * u[ch*ocb:(ch+1)*ocb] over every
+// input channel: the transform-domain fmadd reduction. The vector-width block
+// sizes the schedules actually pick are specialized with fixed-size array
+// pointers so the hot loop carries no bounds checks.
+func winogradAccum(m, u, v []float32, ocb int) {
+	switch ocb {
+	case 4:
+		a := (*[4]float32)(m)
+		for ch, vv := range v {
+			w := (*[4]float32)(u[ch*4:])
+			for k := 0; k < 4; k++ {
+				a[k] += vv * w[k]
+			}
+		}
+	case 8:
+		a := (*[8]float32)(m)
+		for ch, vv := range v {
+			w := (*[8]float32)(u[ch*8:])
+			for k := 0; k < 8; k++ {
+				a[k] += vv * w[k]
+			}
+		}
+	case 16:
+		a := (*[16]float32)(m)
+		for ch, vv := range v {
+			w := (*[16]float32)(u[ch*16:])
+			for k := 0; k < 16; k++ {
+				a[k] += vv * w[k]
+			}
+		}
+	default:
+		for ch, vv := range v {
+			w := u[ch*ocb : ch*ocb+ocb]
+			for k := range w {
+				m[k] += vv * w[k]
+			}
+		}
+	}
+}
+
 // Conv2DWinograd performs a 3x3 stride-1 convolution over an NCHW input
 // using the F(2x2, 3x3) Winograd algorithm with pre-transformed weights from
 // WinogradWeightTransform. Odd output dimensions are handled by computing

@@ -155,7 +155,9 @@ func Table3() ([]Table3Row, error) {
 		}
 		lat := map[core.OptLevel]float64{}
 		for _, level := range []core.OptLevel{core.OptNone, core.OptLayout, core.OptTransformElim, core.OptGlobalSearch} {
-			opts := core.Options{Level: level, NoPrepack: true}
+			// The ablation reproduces the paper's Table 3, which predates
+			// the Winograd extension: all four rows run the direct template.
+			opts := core.Options{Level: level, NoPrepack: true, DisableWinograd: true}
 			if level == core.OptGlobalSearch {
 				opts.Search = search.Options{
 					MaxCands:  10,

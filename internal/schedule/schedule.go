@@ -46,7 +46,32 @@ func divisors(n int) []int {
 // Block factors are capped at 64 to keep the packed weight slab addressable;
 // the paper's channel counts (3..2048) yield at most a few hundred
 // combinations per workload ("the number of pairs is bound to 100").
+//
+// Two refinements over the plain cross product:
+//
+//   - reg_n values wider than the output width all clamp to the same
+//     single full-width tile in the kernel, so only the narrowest such
+//     value is kept (it covers out_width in one tile — a genuinely
+//     distinct schedule from any reg_n <= out_width); the wider ones are
+//     duplicates of it and only waste search time.
+//   - for 3x3 stride-1 workloads, each block pair additionally gets one
+//     Winograd candidate (the algorithm is a searched dimension of the
+//     scheme; the Winograd kernel has no reg_n/unroll knobs).
 func Candidates(wl machine.ConvWorkload, t *machine.Target) []machine.ConvSchedule {
+	ow := wl.OutW()
+	regNs := make([]int, 0, len(regNCandidates))
+	clamped := 0
+	for _, rn := range regNCandidates { // descending
+		if rn <= ow {
+			regNs = append(regNs, rn)
+		} else {
+			clamped = rn // ends at the narrowest candidate above ow
+		}
+	}
+	if clamped != 0 {
+		regNs = append(regNs, clamped)
+	}
+	winograd := wl.WinogradViable()
 	var out []machine.ConvSchedule
 	for _, ic := range divisors(wl.InC) {
 		if ic > 64 {
@@ -56,7 +81,7 @@ func Candidates(wl machine.ConvWorkload, t *machine.Target) []machine.ConvSchedu
 			if oc > 64 {
 				continue
 			}
-			for _, rn := range regNCandidates {
+			for _, rn := range regNs {
 				for _, unroll := range []bool{true, false} {
 					out = append(out, machine.ConvSchedule{
 						Layout:  tensor.NCHWc(ic),
@@ -64,6 +89,14 @@ func Candidates(wl machine.ConvWorkload, t *machine.Target) []machine.ConvSchedu
 						RegN: rn, UnrollKer: unroll,
 					})
 				}
+			}
+			if winograd {
+				out = append(out, machine.ConvSchedule{
+					Layout:  tensor.NCHWc(ic),
+					ICBlock: ic, OCBlock: oc,
+					RegN:      1,
+					Algorithm: machine.AlgoWinograd,
+				})
 			}
 		}
 	}
@@ -101,11 +134,22 @@ func MeasuredEvaluator(trials int) Evaluator {
 			StrideH: wl.StrideH, StrideW: wl.StrideW, PadH: wl.PadH, PadW: wl.PadW,
 		}
 		blockedIn := tensor.ToNCHWc(in, s.ICBlock)
-		blockedWt := tensor.PackWeights(wt, s.ICBlock, s.OCBlock)
+		run := func() {}
+		if s.Algorithm == machine.AlgoWinograd {
+			u := ops.WinogradWeightTransformNCHWc(wt, s.ICBlock, s.OCBlock)
+			run = func() {
+				ops.Conv2DWinogradNCHWc(blockedIn, u, attrs, s.ICBlock, s.OCBlock, ops.Epilogue{}, nil)
+			}
+		} else {
+			blockedWt := tensor.PackWeights(wt, s.ICBlock, s.OCBlock)
+			run = func() {
+				ops.Conv2DNCHWc(blockedIn, blockedWt, attrs, s.ICBlock, s.OCBlock, s.RegN, s.UnrollKer, ops.Epilogue{}, nil)
+			}
+		}
 		best := 0.0
 		for i := 0; i < trials; i++ {
 			start := time.Now()
-			ops.Conv2DNCHWc(blockedIn, blockedWt, attrs, s.ICBlock, s.OCBlock, s.RegN, s.UnrollKer, ops.Epilogue{}, nil)
+			run()
 			el := time.Since(start).Seconds()
 			if i == 0 || el < best {
 				best = el
@@ -203,6 +247,7 @@ type resultJSON struct {
 	RegN      int     `json:"reg_n"`
 	UnrollKer bool    `json:"unroll_ker"`
 	LayoutX   int     `json:"layout_block"`
+	Algorithm string  `json:"algorithm,omitempty"` // "winograd"; absent means direct
 	Time      float64 `json:"time"`
 }
 
@@ -219,6 +264,9 @@ func (db *DB) Save(w io.Writer) error {
 				ICBlock: r.Sched.ICBlock, OCBlock: r.Sched.OCBlock,
 				RegN: r.Sched.RegN, UnrollKer: r.Sched.UnrollKer,
 				LayoutX: r.Sched.Layout.BlockC, Time: r.Time,
+			}
+			if r.Sched.Algorithm == machine.AlgoWinograd {
+				js[i].Algorithm = machine.AlgoWinograd.String()
 			}
 		}
 		out.Entries[k] = js
@@ -240,11 +288,16 @@ func (db *DB) Load(r io.Reader) error {
 	for k, js := range in.Entries {
 		rs := make([]Result, len(js))
 		for i, j := range js {
+			algo := machine.AlgoDirect
+			if j.Algorithm == machine.AlgoWinograd.String() {
+				algo = machine.AlgoWinograd
+			}
 			rs[i] = Result{
 				Sched: machine.ConvSchedule{
 					Layout:  tensor.NCHWc(j.LayoutX),
 					ICBlock: j.ICBlock, OCBlock: j.OCBlock,
 					RegN: j.RegN, UnrollKer: j.UnrollKer,
+					Algorithm: algo,
 				},
 				Time: j.Time,
 			}

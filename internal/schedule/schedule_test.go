@@ -31,20 +31,70 @@ func TestDivisors(t *testing.T) {
 func TestCandidatesCoverSpace(t *testing.T) {
 	tgt := machine.IntelSkylakeC5()
 	cands := Candidates(testWL, tgt)
-	// 32 has 6 divisors, 64 has 7; all <= 64. 6*7*5*2 = 420.
-	if len(cands) != 420 {
-		t.Fatalf("candidate count = %d, want 420", len(cands))
+	// 32 has 6 divisors, 64 has 7; all <= 64. reg_n ∈ {32,16,8,4,2} is
+	// trimmed by the 14-wide output to {8,4,2} plus the narrowest clamped
+	// value (16, one full-width tile); 32 duplicates 16's clamp and is
+	// dropped. Each of the 42 block pairs yields 4*2 direct schedules plus
+	// 1 winograd candidate (the workload is 3x3 stride-1): 42*(8+1) = 378.
+	if len(cands) != 378 {
+		t.Fatalf("candidate count = %d, want 378", len(cands))
 	}
 	seen := map[string]bool{}
+	winograd := 0
 	for _, c := range cands {
 		if testWL.InC%c.ICBlock != 0 || testWL.OutC%c.OCBlock != 0 {
 			t.Fatalf("candidate %v does not divide channels", c)
+		}
+		// Above the output width only the narrowest clamped value survives.
+		if c.Algorithm == machine.AlgoDirect && c.RegN > testWL.OutW() && c.RegN != 16 {
+			t.Fatalf("candidate %v duplicates the clamped full-width tile (ow=%d)", c, testWL.OutW())
+		}
+		if c.Algorithm == machine.AlgoWinograd {
+			winograd++
 		}
 		k := c.String()
 		if seen[k] {
 			t.Fatalf("duplicate candidate %v", c)
 		}
 		seen[k] = true
+	}
+	if winograd != 42 {
+		t.Fatalf("winograd candidates = %d, want one per block pair (42)", winograd)
+	}
+}
+
+func TestCandidatesSkipOversizedRegN(t *testing.T) {
+	// A 1-wide output admits no reg_n candidate; the narrowest one is kept
+	// (the kernel clamps it), so the space never collapses to empty.
+	wl := testWL
+	wl.InH, wl.InW = 5, 3
+	wl.PadH, wl.PadW = 0, 0
+	if wl.OutW() != 1 {
+		t.Fatalf("test setup: OutW = %d, want 1", wl.OutW())
+	}
+	cands := Candidates(wl, machine.IntelSkylakeC5())
+	if len(cands) == 0 {
+		t.Fatal("no candidates for 1-wide output")
+	}
+	for _, c := range cands {
+		if c.Algorithm == machine.AlgoDirect && c.RegN != 2 {
+			t.Fatalf("candidate %v: want only the narrowest reg_n for a 1-wide output", c)
+		}
+	}
+}
+
+func TestCandidatesGateWinograd(t *testing.T) {
+	// Strided and non-3x3 workloads must not receive winograd candidates.
+	for _, wl := range []machine.ConvWorkload{
+		{InC: 32, InH: 14, InW: 14, OutC: 64, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+		{InC: 32, InH: 14, InW: 14, OutC: 64, KH: 1, KW: 1, StrideH: 1, StrideW: 1},
+		{InC: 32, InH: 14, InW: 14, OutC: 64, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2},
+	} {
+		for _, c := range Candidates(wl, machine.IntelSkylakeC5()) {
+			if c.Algorithm == machine.AlgoWinograd {
+				t.Fatalf("workload %v got winograd candidate %v", wl.Key(), c)
+			}
+		}
 	}
 }
 
@@ -71,9 +121,21 @@ func TestLocalSearchSortedAndSensible(t *testing.T) {
 	if best.OCBlock%tgt.VectorLanes != 0 {
 		t.Fatalf("best schedule %v does not fill vector lanes", best)
 	}
-	// And enough accumulators to hide FMA latency.
-	if best.RegN < tgt.FMALatency*tgt.FMAPerCycle/2 {
-		t.Fatalf("best schedule %v has too few accumulators", best)
+	// On a 3x3 stride-1 workload with ample channels the 2.25x multiply
+	// reduction should put a winograd scheme on top.
+	if best.Algorithm != machine.AlgoWinograd {
+		t.Fatalf("best schedule %v is not winograd on a 3x3 stride-1 workload", best)
+	}
+	// The best direct schedule must still hide FMA latency with enough
+	// accumulators.
+	for _, r := range results {
+		if r.Sched.Algorithm != machine.AlgoDirect {
+			continue
+		}
+		if r.Sched.RegN < tgt.FMALatency*tgt.FMAPerCycle/2 {
+			t.Fatalf("best direct schedule %v has too few accumulators", r.Sched)
+		}
+		break
 	}
 }
 

@@ -118,6 +118,13 @@ type BuildOptions struct {
 	// decision matches the deployment. Zero threads means 1.
 	Threads int
 	Backend machine.ThreadBackend
+	// DisableWinograd drops Winograd candidates from every variable's
+	// domain, restricting the algorithm dimension to the direct template.
+	// Int8 compilation sets it (there is no int8 Winograd kernel); users who
+	// need bit-compatibility with direct convolution can too. The filter is
+	// applied to the memoized local-search results, so a shared schedule DB
+	// stays consistent across compilations that differ on this flag.
+	DisableWinograd bool
 }
 
 // relKind distinguishes the pairwise relations the executor realizes.
@@ -156,7 +163,17 @@ func BuildProblem(g *graph.Graph, t *machine.Target, opts BuildOptions) (*Proble
 	varIdx := map[*graph.Node]int{}
 	for _, n := range g.Convs() {
 		wl := graph.ConvWorkload(n)
-		all := schedule.BestByBlockPair(db.Search(t, wl, eval))
+		sorted := db.Search(t, wl, eval)
+		if opts.DisableWinograd {
+			kept := make([]schedule.Result, 0, len(sorted))
+			for _, r := range sorted {
+				if r.Sched.Algorithm != machine.AlgoWinograd {
+					kept = append(kept, r)
+				}
+			}
+			sorted = kept
+		}
+		all := schedule.BestByBlockPair(sorted)
 		results := all
 		if len(results) > maxCands {
 			results = results[:maxCands:maxCands]

@@ -32,6 +32,9 @@ type Options struct {
 	DPStateBudget int
 	// ForcePBQP skips DP entirely (used for SSD, matching the paper).
 	ForcePBQP bool
+	// DisableWinograd removes the Winograd algorithm from every candidate
+	// domain (see BuildOptions.DisableWinograd).
+	DisableWinograd bool
 	// Threads/Backend describe the deployment configuration the plan is
 	// optimized for (zero threads means 1 / serial).
 	Threads int
@@ -57,6 +60,7 @@ func GlobalSearch(g *graph.Graph, t *machine.Target, opts Options) (*Outcome, er
 	p, err := BuildProblem(g, t, BuildOptions{
 		MaxCands: opts.MaxCands, Eval: opts.Eval, DB: opts.DB,
 		Threads: opts.Threads, Backend: opts.Backend,
+		DisableWinograd: opts.DisableWinograd,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("search: build problem: %w", err)

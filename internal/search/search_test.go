@@ -253,6 +253,83 @@ func TestGlobalSearchForcePBQP(t *testing.T) {
 	}
 }
 
+// mixedNet mixes winograd-viable 3x3 stride-1 convolutions with strided and
+// 1x1 ones, so the algorithm dimension has real per-layer decisions to make.
+func mixedNet() *graph.Graph {
+	b := graph.NewBuilder("mixed", 19)
+	x := b.Input(16, 28, 28)
+	x = b.ConvBNReLU(x, 32, 3, 1, 1) // viable
+	x = b.ConvBNReLU(x, 32, 3, 2, 1) // strided: not viable
+	x = b.ConvBNReLU(x, 64, 1, 1, 0) // 1x1: not viable
+	x = b.ConvBNReLU(x, 64, 3, 1, 1) // viable
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	g := b.Finish(b.Dense(x, 10))
+	if err := graph.Optimize(g); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestGlobalSearchPicksWinogradPerLayer(t *testing.T) {
+	tgt := machine.IntelSkylakeC5()
+	g := mixedNet()
+	out, err := GlobalSearch(g, tgt, Options{MaxCands: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	winograd := 0
+	for n, s := range out.Plan {
+		wl := graph.ConvWorkload(n)
+		if s.Algorithm == machine.AlgoWinograd {
+			winograd++
+			if !wl.WinogradViable() {
+				t.Fatalf("conv %v (%dx%d stride %d) scheduled winograd", n, wl.KH, wl.KW, wl.StrideH)
+			}
+		}
+	}
+	// On AVX-512 the cost model's 2.25x multiply saving must win at least
+	// one of the two viable layers.
+	if winograd == 0 {
+		t.Fatal("global search never chose winograd on a winograd-friendly graph")
+	}
+	if err := graph.AlterOpLayout(g, out.Plan, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalSearchDisableWinograd(t *testing.T) {
+	tgt := machine.IntelSkylakeC5()
+	db := schedule.NewDB()
+	// Same DB across both searches: the filter must apply to memoized
+	// results, not depend on what was searched first.
+	out, err := GlobalSearch(mixedNet(), tgt, Options{MaxCands: 8, DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasWino := false
+	for _, s := range out.Plan {
+		if s.Algorithm == machine.AlgoWinograd {
+			hasWino = true
+		}
+	}
+	if !hasWino {
+		t.Fatal("setup: expected a winograd pick with the flag off")
+	}
+	out2, err := GlobalSearch(mixedNet(), tgt, Options{MaxCands: 8, DB: db, DisableWinograd: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, s := range out2.Plan {
+		if s.Algorithm != machine.AlgoDirect {
+			t.Fatalf("conv %v scheduled %v with DisableWinograd", n, s.Algorithm)
+		}
+	}
+	if out2.Cost < out.Cost {
+		t.Fatalf("restricting the domain cannot improve the objective: %v < %v", out2.Cost, out.Cost)
+	}
+}
+
 func TestGlobalSearchFallsBackOnTinyBudget(t *testing.T) {
 	tgt := machine.IntelSkylakeC5()
 	g := concatNet()

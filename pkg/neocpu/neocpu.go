@@ -114,11 +114,12 @@ func CompileGraph(g *graph.Graph, opts ...Option) (*Engine, error) {
 func compile(g *graph.Graph, cfg *config) (*Engine, error) {
 	pre := g.ComputeStats()
 	copts := core.Options{
-		Level:     cfg.level.core(),
-		Threads:   cfg.threads,
-		Backend:   cfg.backend.machine(),
-		Int8:      cfg.int8,
-		NoPrepack: cfg.predictOnly,
+		Level:           cfg.level.core(),
+		Threads:         cfg.threads,
+		Backend:         cfg.backend.machine(),
+		Int8:            cfg.int8,
+		DisableWinograd: cfg.noWinograd,
+		NoPrepack:       cfg.predictOnly,
 	}
 	if cfg.backend == BackendSerial {
 		// The core treats serial+threads>1 as "unspecified backend" and

@@ -224,6 +224,54 @@ func TestInt8ThroughFacade(t *testing.T) {
 	}
 }
 
+func TestWithWinogradThroughFacade(t *testing.T) {
+	// Default: the global search may schedule winograd; the plan records it.
+	on, err := CompileGraph(smallCNN(7),
+		WithOptLevel(LevelGlobalSearch), WithThreads(1), WithBackend(BackendSerial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	var planOn bytes.Buffer
+	if err := on.SavePlan(&planOn); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(planOn.String(), `"algorithm": "winograd"`) {
+		t.Fatalf("default compile scheduled no winograd conv:\n%s", planOn.String())
+	}
+
+	// WithWinograd(false) pins the direct template.
+	off, err := CompileGraph(smallCNN(7),
+		WithOptLevel(LevelGlobalSearch), WithThreads(1), WithBackend(BackendSerial), WithWinograd(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	var planOff bytes.Buffer
+	if err := off.SavePlan(&planOff); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(planOff.String(), "winograd") {
+		t.Fatalf("WithWinograd(false) still scheduled winograd:\n%s", planOff.String())
+	}
+
+	// Both engines must execute, and agree within winograd's fp32 transform
+	// tolerance.
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(3, 1)
+	a, err := on.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := off.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(a[0], b[0], 1e-3) {
+		t.Fatalf("winograd and direct engines disagree: %g", tensor.MaxAbsDiff(a[0], b[0]))
+	}
+}
+
 func TestRegistryCompileExecutes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("compiles and runs a full ResNet-18 on the host")

@@ -149,6 +149,7 @@ type config struct {
 	threads     int
 	backend     Backend
 	int8        bool
+	noWinograd  bool
 	search      *SearchOptions
 	predictOnly bool
 	seed        uint64
@@ -223,6 +224,21 @@ func WithBackend(b Backend) Option {
 // per-output-channel at compile time, activations dynamically per inference.
 func WithInt8() Option {
 	return func(c *config) { c.int8 = true }
+}
+
+// WithWinograd toggles the Winograd convolution algorithm as a searched
+// dimension of the optimization scheme (enabled by default). At
+// LevelGlobalSearch the search may then schedule 3x3 stride-1 convolutions
+// with the F(2x2,3x3) Winograd kernel wherever its 2.25x multiply reduction
+// beats the direct template's cost.
+//
+// Winograd computes in a transform domain, so fp32 results differ from the
+// direct template in the last bits (typically within 1e-3 relative error for
+// normalized CNN activations). Pass false for bit-compatibility with direct
+// convolution. INT8 engines always run direct — there is no quantized
+// Winograd kernel — so this option is a no-op when combined with WithInt8.
+func WithWinograd(enabled bool) Option {
+	return func(c *config) { c.noWinograd = !enabled }
 }
 
 // WithSearch overrides the global-search settings used at LevelGlobalSearch.
