@@ -1,0 +1,115 @@
+// Command neocpu-serve compiles a model and serves it over HTTP with pooled
+// sessions and dynamic micro-batching, speaking a kserve-v2-style JSON
+// protocol.
+//
+// Usage:
+//
+//	neocpu-serve -model resnet-18 -addr :8000 -pool 4 -max-batch 8
+//
+// Endpoints:
+//
+//	GET  /v2/health/live, /v2/health/ready
+//	GET  /v2/models/<model>          metadata
+//	GET  /v2/models/<model>/ready
+//	POST /v2/models/<model>/infer    {"inputs":[{"name":"input","shape":[1,3,H,W],"datatype":"FP32","data":[...]}]}
+//	GET  /v2/stats                   pool + batcher counters
+//
+// By default each pooled session runs serially (one core per in-flight
+// batch) so the pool scales throughput across cores; pass -threads N > 1 to
+// instead parallelize each single inference over the shared kernel pool.
+//
+// Besides the paper's registry models, the tiny-* test models (tiny-cnn,
+// tiny-resnet, tiny-densenet, tiny-vgg) are accepted for fast smoke tests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/pkg/neocpu"
+)
+
+// tinyBuilders are the non-registry smoke-test models.
+var tinyBuilders = map[string]func(uint64) *graph.Graph{
+	"tiny-cnn":      models.TinyCNN,
+	"tiny-resnet":   models.TinyResNet,
+	"tiny-densenet": models.TinyDenseNet,
+	"tiny-vgg":      models.TinyVGG,
+}
+
+func main() {
+	model := flag.String("model", "resnet-18", "model name (paper registry, or tiny-cnn/tiny-resnet/tiny-densenet/tiny-vgg)")
+	addr := flag.String("addr", ":8000", "listen address")
+	levelName := flag.String("level", "global-search", "baseline-nchw|layout-opt|transform-elim|global-search")
+	threads := flag.Int("threads", 1, "kernel threads per inference (1 = serial sessions, pool scales across cores)")
+	poolSize := flag.Int("pool", 2, "max pooled sessions (one arena each)")
+	maxBatch := flag.Int("max-batch", 8, "max requests coalesced per dispatch")
+	maxLatency := flag.Duration("max-latency", 2*time.Millisecond, "longest wait for batch stragglers (0 = dispatch immediately)")
+	queueDepth := flag.Int("queue", 0, "admission queue depth (0 = 4x max-batch); beyond it requests get 429")
+	int8Mode := flag.Bool("int8", false, "serve quantized INT8 inference")
+	seed := flag.Uint64("seed", 42, "synthetic-weight seed")
+	flag.Parse()
+
+	level, err := neocpu.ParseLevel(*levelName)
+	if err != nil {
+		fatal(err)
+	}
+	copts := []neocpu.Option{
+		neocpu.WithOptLevel(level),
+		neocpu.WithSeed(*seed),
+	}
+	if *threads <= 1 {
+		// Serial sessions: each in-flight batch occupies exactly one core,
+		// so PoolSize sessions genuinely scale to PoolSize cores.
+		copts = append(copts, neocpu.WithBackend(neocpu.BackendSerial))
+	} else {
+		copts = append(copts, neocpu.WithThreads(*threads))
+	}
+	if *int8Mode {
+		copts = append(copts, neocpu.WithInt8())
+	}
+
+	fmt.Printf("compiling %s at %v...\n", *model, level)
+	start := time.Now()
+	var engine *neocpu.Engine
+	if build, ok := tinyBuilders[*model]; ok {
+		engine, err = neocpu.CompileGraph(build(*seed), copts...)
+	} else {
+		engine, err = neocpu.Compile(*model, copts...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer engine.Close()
+	fmt.Printf("compiled in %v; input shape %v\n", time.Since(start).Round(time.Millisecond), engine.InputShape())
+
+	sopts := []neocpu.ServeOption{
+		neocpu.WithPoolSize(*poolSize),
+		neocpu.WithMaxBatch(*maxBatch),
+		neocpu.WithMaxLatency(*maxLatency),
+	}
+	if *queueDepth > 0 {
+		sopts = append(sopts, neocpu.WithQueueDepth(*queueDepth))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("serving %s on %s (pool=%d max-batch=%d max-latency=%v)\n",
+		*model, *addr, *poolSize, *maxBatch, *maxLatency)
+	if err := neocpu.Serve(ctx, *addr, engine, *model, sopts...); err != nil {
+		fatal(err)
+	}
+	fmt.Println("shut down")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neocpu-serve:", err)
+	os.Exit(1)
+}

@@ -1,20 +1,30 @@
-// Thread-scaling demo (Section 3.1.2 / Figure 4 with real wall-clock): the
-// same blocked convolution is executed with the custom thread pool and the
-// OpenMP-style fork/join runtime at growing thread counts, on this machine.
-// The custom pool's lower per-region overhead shows up directly once regions
-// become small.
+// Scaling demo, two layers of it:
+//
+// 1. Kernel scaling (Section 3.1.2 / Figure 4 with real wall-clock): the
+//    same blocked convolution is executed with the custom thread pool and
+//    the OpenMP-style fork/join runtime at growing thread counts.
+// 2. Serving scaling: a compiled engine behind the HTTP inference server,
+//    hammered by concurrent clients — pooled sessions plus the dynamic
+//    micro-batcher turn per-request dispatch into coalesced RunBatch calls.
 //
 //	go run ./examples/scaling
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"sync"
 	"time"
 
+	"repro/internal/models"
 	"repro/internal/ops"
 	"repro/internal/tensor"
 	"repro/internal/threadpool"
+	"repro/pkg/neocpu"
 )
 
 func main() {
@@ -69,4 +79,91 @@ func main() {
 	omp := threadpool.NewOMPPool(maxThreads)
 	fmt.Printf("  thread pool: %v\n", tiny(pool.ParallelFor).Round(time.Microsecond))
 	fmt.Printf("  omp-style:   %v\n", tiny(omp.ParallelFor).Round(time.Microsecond))
+
+	servingDemo()
+}
+
+// servingDemo scales the other axis: many concurrent requests against one
+// engine. Serial sessions make each in-flight batch occupy one core, the
+// pool bounds concurrency, and the micro-batcher coalesces whatever piles
+// up while sessions are busy.
+func servingDemo() {
+	fmt.Println("\nserving: 32 concurrent clients, pooled sessions + micro-batching:")
+	engine, err := neocpu.CompileGraph(models.TinyResNet(42),
+		neocpu.WithOptLevel(neocpu.LevelTransformElim),
+		neocpu.WithBackend(neocpu.BackendSerial),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer engine.Close()
+	srv, err := neocpu.NewServer(engine, "tiny-resnet",
+		neocpu.WithPoolSize(runtime.GOMAXPROCS(0)),
+		neocpu.WithMaxBatch(8),
+		neocpu.WithMaxLatency(2*time.Millisecond),
+		neocpu.WithQueueDepth(128),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	in := engine.NewInput()
+	in.FillRandom(7, 1)
+	body, _ := json.Marshal(map[string]any{
+		"inputs": []map[string]any{{
+			"name": "input", "shape": in.Shape, "datatype": "FP32", "data": in.Data,
+		}},
+	})
+
+	const clients = 32
+	const runsEach = 4
+	start := time.Now()
+	var wg sync.WaitGroup
+	var failed sync.Map
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < runsEach; r++ {
+				resp, err := ts.Client().Post(ts.URL+"/v2/models/tiny-resnet/infer",
+					"application/json", bytes.NewReader(body))
+				if err != nil {
+					failed.Store(c, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Store(c, fmt.Errorf("status %d", resp.StatusCode))
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	failed.Range(func(k, v any) bool { panic(fmt.Sprintf("client %v: %v", k, v)) })
+
+	st := srv.Stats()
+	fmt.Printf("  %d requests in %v (%.0f req/s)\n",
+		st.Batch.Items, elapsed.Round(time.Millisecond),
+		float64(st.Batch.Items)/elapsed.Seconds())
+	fmt.Printf("  batches: %d, mean size %.2f, max %d (coalesced by the %dms window)\n",
+		st.Batch.Batches, float64(st.Batch.Items)/float64(st.Batch.Batches),
+		st.Batch.MaxObserved, 2)
+	fmt.Printf("  pool: %d/%d sessions, %d waits, %s arena/session\n",
+		st.Pool.Size, st.Pool.MaxSize, st.Pool.Waits, byteSize(st.Pool.ArenaBytesPerSession))
+}
+
+func byteSize(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -9,6 +10,13 @@ import (
 	"repro/internal/machine"
 	"repro/internal/tensor"
 )
+
+// ErrInvalidPlan is the typed cause wrapped by every plan-parsing and
+// plan-resolution failure (malformed JSON, truncated files, unknown layouts
+// or algorithms, entries that do not match the graph). Callers branch with
+// errors.Is(err, ErrInvalidPlan) instead of string matching; corrupted plan
+// files must surface as this error, never as a panic.
+var ErrInvalidPlan = errors.New("core: invalid plan")
 
 // This file implements plan serialization: the optimization schemes a
 // (possibly hours-long, in the paper's TVM setting) search produced can be
@@ -70,10 +78,19 @@ func (m *Module) SavePlan(w io.Writer) error {
 	return enc.Encode(pf)
 }
 
-// LoadPlan parses a serialized plan.
+// LoadPlan parses a serialized plan. Malformed or truncated plan content
+// fails with ErrInvalidPlan; an error from the reader itself (I/O, not
+// corruption) is passed through untyped so callers do not mistake a
+// transient read failure for a bad plan file.
 func LoadPlan(r io.Reader) (*PlanFile, error) {
 	var pf PlanFile
 	if err := json.NewDecoder(r).Decode(&pf); err != nil {
+		var syn *json.SyntaxError
+		var typ *json.UnmarshalTypeError
+		if errors.As(err, &syn) || errors.As(err, &typ) ||
+			errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: decode: %v", ErrInvalidPlan, err)
+		}
 		return nil, fmt.Errorf("core: load plan: %w", err)
 	}
 	return &pf, nil
@@ -87,7 +104,7 @@ func (pf *PlanFile) Apply(g *graph.Graph) (graph.LayoutPlan, error) {
 	byName := make(map[string]PlanEntry, len(pf.Entries))
 	for _, e := range pf.Entries {
 		if _, dup := byName[e.Conv]; dup {
-			return nil, fmt.Errorf("core: plan has duplicate entry for %q", e.Conv)
+			return nil, fmt.Errorf("%w: duplicate entry for %q", ErrInvalidPlan, e.Conv)
 		}
 		byName[e.Conv] = e
 	}
@@ -95,7 +112,7 @@ func (pf *PlanFile) Apply(g *graph.Graph) (graph.LayoutPlan, error) {
 	for _, n := range g.Convs() {
 		e, ok := byName[n.Name]
 		if !ok {
-			return nil, fmt.Errorf("core: plan has no entry for convolution %q", n.Name)
+			return nil, fmt.Errorf("%w: no entry for convolution %q", ErrInvalidPlan, n.Name)
 		}
 		delete(byName, n.Name)
 		algo := machine.AlgoDirect
@@ -105,7 +122,7 @@ func (pf *PlanFile) Apply(g *graph.Graph) (graph.LayoutPlan, error) {
 		case machine.AlgoWinograd.String():
 			algo = machine.AlgoWinograd
 		default:
-			return nil, fmt.Errorf("core: plan entry %q has unknown algorithm %q", e.Conv, e.Algorithm)
+			return nil, fmt.Errorf("%w: entry %q has unknown algorithm %q", ErrInvalidPlan, e.Conv, e.Algorithm)
 		}
 		var s machine.ConvSchedule
 		switch e.Layout {
@@ -118,16 +135,16 @@ func (pf *PlanFile) Apply(g *graph.Graph) (graph.LayoutPlan, error) {
 			}
 			wl := graph.ConvWorkload(n)
 			if e.ICBlock <= 0 || wl.InC%e.ICBlock != 0 || e.OCBlock <= 0 || wl.OutC%e.OCBlock != 0 {
-				return nil, fmt.Errorf("core: plan entry %q blocks (%d,%d) do not divide channels (%d,%d)",
-					e.Conv, e.ICBlock, e.OCBlock, wl.InC, wl.OutC)
+				return nil, fmt.Errorf("%w: entry %q blocks (%d,%d) do not divide channels (%d,%d)",
+					ErrInvalidPlan, e.Conv, e.ICBlock, e.OCBlock, wl.InC, wl.OutC)
 			}
 			if algo == machine.AlgoWinograd && !wl.WinogradViable() {
-				return nil, fmt.Errorf("core: plan entry %q schedules winograd for a %dx%d stride-%dx%d convolution (3x3 stride-1 only)",
-					e.Conv, wl.KH, wl.KW, wl.StrideH, wl.StrideW)
+				return nil, fmt.Errorf("%w: entry %q schedules winograd for a %dx%d stride-%dx%d convolution (3x3 stride-1 only)",
+					ErrInvalidPlan, e.Conv, wl.KH, wl.KW, wl.StrideH, wl.StrideW)
 			}
 		case "nhwc", "nchw":
 			if algo == machine.AlgoWinograd {
-				return nil, fmt.Errorf("core: plan entry %q schedules winograd in layout %q (NCHW[x]c only)", e.Conv, e.Layout)
+				return nil, fmt.Errorf("%w: entry %q schedules winograd in layout %q (NCHW[x]c only)", ErrInvalidPlan, e.Conv, e.Layout)
 			}
 			if e.Layout == "nhwc" {
 				s = machine.ConvSchedule{Layout: tensor.NHWC()}
@@ -135,13 +152,13 @@ func (pf *PlanFile) Apply(g *graph.Graph) (graph.LayoutPlan, error) {
 				s = machine.ConvSchedule{Layout: tensor.NCHW()}
 			}
 		default:
-			return nil, fmt.Errorf("core: plan entry %q has unknown layout %q", e.Conv, e.Layout)
+			return nil, fmt.Errorf("%w: entry %q has unknown layout %q", ErrInvalidPlan, e.Conv, e.Layout)
 		}
 		plan[n] = s
 	}
 	if len(byName) != 0 {
 		for name := range byName {
-			return nil, fmt.Errorf("core: plan entry %q matches no convolution in graph %q", name, g.Name)
+			return nil, fmt.Errorf("%w: entry %q matches no convolution in graph %q", ErrInvalidPlan, name, g.Name)
 		}
 	}
 	return plan, nil
@@ -151,7 +168,7 @@ func (pf *PlanFile) Apply(g *graph.Graph) (graph.LayoutPlan, error) {
 // running any search. The target must match the plan's.
 func CompileWithPlan(g *graph.Graph, t *machine.Target, pf *PlanFile, opts Options) (*Module, error) {
 	if pf.Target != "" && pf.Target != t.Name {
-		return nil, fmt.Errorf("core: plan was produced for target %q, compiling for %q", pf.Target, t.Name)
+		return nil, fmt.Errorf("%w: plan was produced for target %q, compiling for %q", ErrInvalidPlan, pf.Target, t.Name)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -43,7 +45,72 @@ type Session struct {
 	vals []*tensor.Tensor
 	bufs []nodeBuffers
 	outs []*tensor.Tensor
+
+	// Work counters. The session itself is a single execution lane, but a
+	// serving pool reads these concurrently with runs (stats endpoints,
+	// sizing heuristics), so they are atomics.
+	runs      atomic.Uint64
+	items     atomic.Uint64
+	busyNanos atomic.Int64
 }
+
+// SessionStats counts the work one session has executed. Runs counts Run
+// and RunBatch calls, including failed or cancelled ones; Items counts only
+// completed inference items (a successful Run is one item, a RunBatch adds
+// one per completed input); Busy is the cumulative wall-clock spent inside
+// Run/RunBatch, the pool's utilization signal.
+type SessionStats struct {
+	Runs  uint64
+	Items uint64
+	Busy  time.Duration
+}
+
+// Stats returns the session's work counters. Safe to call concurrently with
+// runs on the session's own goroutine.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		Runs:  s.runs.Load(),
+		Items: s.items.Load(),
+		Busy:  time.Duration(s.busyNanos.Load()),
+	}
+}
+
+// ArenaBytes reports the total size of the session's preallocated tensor
+// arena. Serving layers use it to budget pool growth and to bound acceptable
+// per-request allocation (steady-state request handling should allocate well
+// under one arena's worth).
+func (s *Session) ArenaBytes() int {
+	total := 0
+	add := func(t *tensor.Tensor) {
+		if t != nil {
+			total += 4 * len(t.Data)
+		}
+	}
+	for i := range s.bufs {
+		b := &s.bufs[i]
+		add(b.out)
+		add(b.pad)
+		add(b.wino)
+		add(b.scratch)
+	}
+	return total
+}
+
+// BatchError reports that a RunBatch stopped before executing every input.
+// Completed counts the items that finished: the batch results returned
+// alongside the error hold exactly those entries, in input order. Err is the
+// cause (a ctx error for cancellation, or the failing item's execution
+// error) and is exposed through Unwrap for errors.Is/As.
+type BatchError struct {
+	Completed int
+	Err       error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("core: batch stopped after %d item(s): %v", e.Completed, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
 
 // NewSession creates an execution context with a freshly allocated arena.
 // Prediction-only (NoPrepack) modules cannot execute and return an error.
@@ -133,20 +200,32 @@ func (s *Session) Run(ctx context.Context, input *tensor.Tensor) ([]*tensor.Tens
 	if err := s.m.checkInput(input); err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	defer func() {
+		s.busyNanos.Add(int64(time.Since(start)))
+		s.runs.Add(1)
+	}()
 	if err := s.run(ctx, input, s.m.parallelFor()); err != nil {
 		return nil, err
 	}
 	for i, o := range s.m.Graph.Outputs {
 		s.outs[i] = s.vals[s.m.slot[o]]
 	}
+	s.items.Add(1)
 	return s.outs, nil
 }
 
 // RunBatch executes the model once per input, amortizing validation and
 // dispatch setup across the batch. Unlike Run, the returned tensors are
 // deep copies (the arena is reused between batch items), so they remain
-// valid indefinitely. A cancelled ctx stops between nodes; the results
-// produced so far are discarded.
+// valid indefinitely.
+//
+// Ctx is checked between batch items as well as between graph nodes. When a
+// batch stops early — cancellation, or one item failing — RunBatch returns
+// the results of the items that completed together with a *BatchError whose
+// Completed field counts them: results[:Completed] are valid, fully
+// executed outputs. errors.Is still matches the underlying cause (e.g.
+// context.Canceled) through BatchError.Unwrap.
 func (s *Session) RunBatch(ctx context.Context, inputs []*tensor.Tensor) ([][]*tensor.Tensor, error) {
 	for i, in := range inputs {
 		if err := s.m.checkInput(in); err != nil {
@@ -154,16 +233,29 @@ func (s *Session) RunBatch(ctx context.Context, inputs []*tensor.Tensor) ([][]*t
 		}
 	}
 	pf := s.m.parallelFor()
-	results := make([][]*tensor.Tensor, len(inputs))
+	start := time.Now()
+	defer func() {
+		s.busyNanos.Add(int64(time.Since(start)))
+		s.runs.Add(1)
+	}()
+	results := make([][]*tensor.Tensor, 0, len(inputs))
 	for i, in := range inputs {
+		// The between-items check: a cancellation that lands after item i-1
+		// finished must not run item i to completion.
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return results, &BatchError{Completed: i, Err: err}
+			}
+		}
 		if err := s.run(ctx, in, pf); err != nil {
-			return nil, fmt.Errorf("core: batch input %d: %w", i, err)
+			return results, &BatchError{Completed: i, Err: fmt.Errorf("core: batch input %d: %w", i, err)}
 		}
 		outs := make([]*tensor.Tensor, len(s.m.Graph.Outputs))
 		for j, o := range s.m.Graph.Outputs {
 			outs[j] = s.vals[s.m.slot[o]].Clone()
 		}
-		results[i] = outs
+		results = append(results, outs)
+		s.items.Add(1)
 	}
 	return results, nil
 }

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Typed serving errors.
+var (
+	// ErrQueueFull is returned by Batcher.Do when the bounded request queue
+	// is at capacity — the HTTP layer maps it to 429 (backpressure).
+	ErrQueueFull = errors.New("serve: request queue is full")
+	// ErrClosed is returned for requests that arrive during or after
+	// shutdown.
+	ErrClosed = errors.New("serve: server is closed")
+)
+
+// request is one in-flight inference waiting to be batched.
+type request struct {
+	ctx   context.Context
+	input *tensor.Tensor
+	resp  chan response
+}
+
+type response struct {
+	outs []*tensor.Tensor
+	err  error
+}
+
+// Batcher coalesces concurrent inference requests into micro-batches and
+// dispatches them through Session.RunBatch on pooled sessions.
+//
+// One dispatcher goroutine owns the queue. For each batch it takes the first
+// queued request, acquires a session (blocking here — not per request — is
+// what creates the coalescing opportunity: while every session is busy,
+// requests pile up in the queue), then fills the batch from the queue up to
+// MaxBatch, waiting at most MaxLatency for stragglers, and hands the batch
+// to a runner goroutine. Admission is bounded by the queue depth: a full
+// queue rejects immediately with ErrQueueFull rather than queueing unbounded
+// work.
+type Batcher struct {
+	pool       *SessionPool
+	maxBatch   int
+	maxLatency time.Duration
+	queue      chan *request
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu          sync.Mutex
+	batches     uint64
+	items       uint64
+	rejected    uint64
+	maxObserved int
+}
+
+// BatchStats is a snapshot of the batcher's coalescing behaviour.
+type BatchStats struct {
+	// Batches counts dispatched micro-batches, Items the requests they
+	// carried; Items/Batches is the mean observed batch size and
+	// MaxObserved the largest single dispatch.
+	Batches     uint64 `json:"batches"`
+	Items       uint64 `json:"items"`
+	MaxObserved int    `json:"max_observed"`
+	// Rejected counts requests refused with ErrQueueFull.
+	Rejected uint64 `json:"rejected"`
+}
+
+// NewBatcher starts the dispatcher. queueDepth bounds admission (minimum 1).
+func NewBatcher(pool *SessionPool, maxBatch int, maxLatency time.Duration, queueDepth int) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	b := &Batcher{
+		pool:       pool,
+		maxBatch:   maxBatch,
+		maxLatency: maxLatency,
+		queue:      make(chan *request, queueDepth),
+		baseCtx:    ctx,
+		cancel:     cancel,
+	}
+	b.wg.Add(1)
+	go b.dispatch()
+	return b
+}
+
+// Do submits one input and blocks until its batch completes, the caller's
+// ctx is done, or the batcher shuts down.
+func (b *Batcher) Do(ctx context.Context, in *tensor.Tensor) ([]*tensor.Tensor, error) {
+	if b.baseCtx.Err() != nil {
+		return nil, ErrClosed
+	}
+	req := &request{ctx: ctx, input: in, resp: make(chan response, 1)}
+	select {
+	case b.queue <- req:
+	default:
+		b.mu.Lock()
+		b.rejected++
+		b.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	select {
+	case r := <-req.resp:
+		return r.outs, r.err
+	case <-ctx.Done():
+		// The batch may still run this input (it only aborts once every
+		// member is cancelled); the buffered resp channel lets the runner
+		// complete without us.
+		return nil, ctx.Err()
+	case <-b.baseCtx.Done():
+		select {
+		case r := <-req.resp:
+			return r.outs, r.err
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close stops admission, waits for in-flight batches, and fails queued
+// requests with ErrClosed.
+func (b *Batcher) Close() {
+	b.cancel()
+	b.wg.Wait()
+	for {
+		select {
+		case req := <-b.queue:
+			req.resp <- response{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// Stats snapshots the coalescing counters.
+func (b *Batcher) Stats() BatchStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BatchStats{
+		Batches:     b.batches,
+		Items:       b.items,
+		MaxObserved: b.maxObserved,
+		Rejected:    b.rejected,
+	}
+}
+
+func (b *Batcher) dispatch() {
+	defer b.wg.Done()
+	for {
+		var first *request
+		select {
+		case first = <-b.queue:
+		case <-b.baseCtx.Done():
+			return
+		}
+		sess, err := b.pool.Acquire(b.baseCtx)
+		if err != nil {
+			first.resp <- response{err: ErrClosed}
+			continue
+		}
+		batch := b.collect(first)
+		b.wg.Add(1)
+		go b.runBatch(sess, batch)
+	}
+}
+
+// collect fills a batch around the first request: everything already queued
+// joins immediately; if the batch is still short of MaxBatch, the dispatcher
+// lingers up to MaxLatency for stragglers. MaxLatency 0 dispatches
+// immediately with whatever is queued.
+func (b *Batcher) collect(first *request) []*request {
+	batch := []*request{first}
+	for len(batch) < b.maxBatch {
+		select {
+		case r := <-b.queue:
+			batch = append(batch, r)
+			continue
+		default:
+		}
+		break
+	}
+	if len(batch) == b.maxBatch || b.maxLatency <= 0 {
+		return batch
+	}
+	timer := time.NewTimer(b.maxLatency)
+	defer timer.Stop()
+	for len(batch) < b.maxBatch {
+		select {
+		case r := <-b.queue:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-b.baseCtx.Done():
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch executes one micro-batch on an acquired session and distributes
+// per-request results. Requests whose client vanished while queued are
+// answered with their ctx error and dropped before execution.
+func (b *Batcher) runBatch(sess *core.Session, reqs []*request) {
+	defer b.wg.Done()
+	live := make([]*request, 0, len(reqs))
+	for _, r := range reqs {
+		if err := r.ctx.Err(); err != nil {
+			r.resp <- response{err: err}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		b.pool.Release(sess)
+		return
+	}
+
+	b.mu.Lock()
+	b.batches++
+	b.items += uint64(len(live))
+	if len(live) > b.maxObserved {
+		b.maxObserved = len(live)
+	}
+	b.mu.Unlock()
+
+	ctx, stop := b.batchContext(live)
+	inputs := make([]*tensor.Tensor, len(live))
+	for i, r := range live {
+		inputs[i] = r.input
+	}
+	results, err := sess.RunBatch(ctx, inputs)
+	stop()
+	// RunBatch results are deep copies, so the session can serve the next
+	// batch before responses are delivered.
+	b.pool.Release(sess)
+
+	done := len(live)
+	if err != nil {
+		done = 0
+		var be *core.BatchError
+		if errors.As(err, &be) {
+			// A cancelled batch still completed its first items; those
+			// clients get real results, the rest the error.
+			done = be.Completed
+		}
+		if b.baseCtx.Err() != nil {
+			// The cancellation came from shutdown, not from the clients:
+			// live callers should see "server closed", not a bare ctx error.
+			err = ErrClosed
+		}
+	}
+	for i, r := range live {
+		if i < done {
+			r.resp <- response{outs: results[i]}
+		} else {
+			r.resp <- response{err: err}
+		}
+	}
+}
+
+// batchContext derives the execution context for one micro-batch: it cancels
+// when the batcher shuts down, or once every member request's own ctx is
+// done — one abandoned client must not cancel its batch-mates' work, but a
+// fully abandoned batch stops mid-run instead of computing for nobody.
+func (b *Batcher) batchContext(reqs []*request) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(b.baseCtx)
+	remaining := int64(len(reqs))
+	stops := make([]func() bool, len(reqs))
+	for i, r := range reqs {
+		stops[i] = context.AfterFunc(r.ctx, func() {
+			if atomic.AddInt64(&remaining, -1) == 0 {
+				cancel()
+			}
+		})
+	}
+	return ctx, func() {
+		for _, s := range stops {
+			s()
+		}
+		cancel()
+	}
+}

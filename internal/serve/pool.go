@@ -1,0 +1,152 @@
+// Package serve turns a compiled core.Module into an inference service: a
+// bounded pool of arena-reusing Sessions, a dynamic micro-batcher that
+// coalesces concurrent requests, and an HTTP server speaking a
+// kserve-v2-style JSON protocol. It is the paper's end goal — CNN inference
+// serving on commodity CPUs — layered on the execution engine: the module's
+// weights and threading runtime are shared read-only, each in-flight batch
+// runs on one pooled session, and steady-state request handling allocates
+// far less than one session arena per request.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// SessionPool is a bounded, lazily grown pool of core.Sessions over one
+// compiled module. Sessions are expensive (one preallocated tensor arena
+// each), so the pool creates them on demand up to Max and then recycles:
+// Acquire hands out an idle session or blocks until one is released. One
+// session is created eagerly so construction fails fast on modules that
+// cannot execute (predict-only) and readiness probes reflect a warm arena.
+type SessionPool struct {
+	mod *core.Module
+	max int
+
+	idle chan *core.Session
+
+	mu       sync.Mutex
+	sessions []*core.Session // every session ever created, for stats
+
+	acquires atomic.Uint64
+	waits    atomic.Uint64
+}
+
+// NewSessionPool creates a pool bounded at max sessions.
+func NewSessionPool(mod *core.Module, max int) (*SessionPool, error) {
+	if max <= 0 {
+		return nil, fmt.Errorf("serve: pool size must be positive, got %d", max)
+	}
+	p := &SessionPool{
+		mod:  mod,
+		max:  max,
+		idle: make(chan *core.Session, max),
+	}
+	s, err := mod.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	p.sessions = append(p.sessions, s)
+	p.idle <- s
+	return p, nil
+}
+
+// Acquire returns a session for exclusive use. It prefers an idle session,
+// grows the pool if it is still under its bound, and otherwise blocks until
+// a session is released or ctx is done. Every acquired session must be
+// handed back with Release.
+func (p *SessionPool) Acquire(ctx context.Context) (*core.Session, error) {
+	p.acquires.Add(1)
+	select {
+	case s := <-p.idle:
+		return s, nil
+	default:
+	}
+	p.mu.Lock()
+	if len(p.sessions) < p.max {
+		s, err := p.mod.NewSession()
+		if err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		p.sessions = append(p.sessions, s)
+		p.mu.Unlock()
+		return s, nil
+	}
+	p.mu.Unlock()
+	p.waits.Add(1)
+	select {
+	case s := <-p.idle:
+		return s, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Release returns an acquired session to the pool.
+func (p *SessionPool) Release(s *core.Session) {
+	if s == nil {
+		return
+	}
+	select {
+	case p.idle <- s:
+	default:
+		// Impossible by construction (the channel holds Max and at most Max
+		// sessions exist), but dropping beats deadlocking if an alien session
+		// is released here.
+	}
+}
+
+// PoolStats is a snapshot of the pool and of the work its sessions have
+// executed (aggregated core.SessionStats).
+type PoolStats struct {
+	// Size is the number of sessions created so far; MaxSize the bound;
+	// Idle how many currently sit in the free list.
+	Size    int `json:"size"`
+	MaxSize int `json:"max_size"`
+	Idle    int `json:"idle"`
+	// Acquires counts Acquire calls; Waits counts the ones that found the
+	// pool exhausted and had to block. Waits/Acquires rising toward 1 is the
+	// signal to grow the pool (or add machines).
+	Acquires uint64 `json:"acquires"`
+	Waits    uint64 `json:"waits"`
+	// Runs/Items/Busy aggregate the per-session work counters.
+	Runs  uint64        `json:"runs"`
+	Items uint64        `json:"items"`
+	Busy  time.Duration `json:"busy_ns"`
+	// ArenaBytes is the total preallocated arena across created sessions;
+	// ArenaBytesPerSession sizes one more session's worth of growth.
+	ArenaBytes           int `json:"arena_bytes"`
+	ArenaBytesPerSession int `json:"arena_bytes_per_session"`
+}
+
+// Stats snapshots the pool. Safe to call concurrently with Acquire/Release
+// and with runs on acquired sessions.
+func (p *SessionPool) Stats() PoolStats {
+	p.mu.Lock()
+	sessions := p.sessions[:len(p.sessions):len(p.sessions)]
+	p.mu.Unlock()
+	st := PoolStats{
+		Size:     len(sessions),
+		MaxSize:  p.max,
+		Idle:     len(p.idle),
+		Acquires: p.acquires.Load(),
+		Waits:    p.waits.Load(),
+	}
+	for _, s := range sessions {
+		ss := s.Stats()
+		st.Runs += ss.Runs
+		st.Items += ss.Items
+		st.Busy += ss.Busy
+		st.ArenaBytes += s.ArenaBytes()
+	}
+	if len(sessions) > 0 {
+		st.ArenaBytesPerSession = st.ArenaBytes / len(sessions)
+	}
+	return st
+}

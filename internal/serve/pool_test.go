@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+func testModule(t *testing.T) *core.Module {
+	t.Helper()
+	m, err := core.Compile(models.TinyCNN(1), machine.IntelSkylakeC5(), core.Options{
+		Level: core.OptTransformElim, Threads: 1, Backend: machine.BackendSerial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestPoolGrowsLazilyAndReuses(t *testing.T) {
+	p, err := NewSessionPool(testModule(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Size != 1 || st.Idle != 1 {
+		t.Fatalf("fresh pool: %+v, want one warm idle session", st)
+	}
+	ctx := context.Background()
+	a, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Acquire(ctx) // grows
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("pool handed out the same session twice")
+	}
+	if st := p.Stats(); st.Size != 2 {
+		t.Fatalf("size %d after growth, want 2", st.Size)
+	}
+	p.Release(a)
+	c, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatal("pool did not reuse the released session")
+	}
+	if st := p.Stats(); st.Size != 2 {
+		t.Fatalf("reuse grew the pool to %d", st.Size)
+	}
+	if st := p.Stats(); st.ArenaBytesPerSession == 0 {
+		t.Fatal("arena accounting reported 0")
+	}
+	p.Release(b)
+	p.Release(c)
+}
+
+func TestPoolBlocksAtBound(t *testing.T) {
+	p, err := NewSessionPool(testModule(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("exhausted pool: got %v, want DeadlineExceeded", err)
+	}
+	if st := p.Stats(); st.Waits == 0 {
+		t.Fatal("blocked Acquire was not counted as a wait")
+	}
+	p.Release(s)
+	got, err := p.Acquire(context.Background())
+	if err != nil || got != s {
+		t.Fatalf("after release: %v, %v", got, err)
+	}
+	p.Release(got)
+}
+
+func TestPoolRejectsBadConfigurations(t *testing.T) {
+	if _, err := NewSessionPool(testModule(t), 0); err == nil {
+		t.Fatal("pool size 0 must fail")
+	}
+	pred, err := core.Compile(models.TinyCNN(1), machine.IntelSkylakeC5(), core.Options{
+		Level: core.OptTransformElim, NoPrepack: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSessionPool(pred, 2); err == nil {
+		t.Fatal("predict-only module must fail pool construction eagerly")
+	}
+}
+
+func TestPoolSessionStatsAggregate(t *testing.T) {
+	mod := testModule(t)
+	p, err := NewSessionPool(mod, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(2, 1)
+	if _, err := s.Run(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunBatch(context.Background(), []*tensor.Tensor{in, in}); err != nil {
+		t.Fatal(err)
+	}
+	p.Release(s)
+	st := p.Stats()
+	if st.Runs != 2 || st.Items != 3 {
+		t.Fatalf("aggregated runs=%d items=%d, want 2/3", st.Runs, st.Items)
+	}
+	if st.Busy <= 0 {
+		t.Fatal("busy time not accumulated")
+	}
+}
+
+func TestBatcherClosedRejects(t *testing.T) {
+	p, err := NewSessionPool(testModule(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(p, 4, NoLatency, 4)
+	b.Close()
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	if _, err := b.Do(context.Background(), in); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed batcher: got %v, want ErrClosed", err)
+	}
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.PoolSize != 2 || c.MaxBatch != 8 || c.MaxLatency != 2*time.Millisecond || c.QueueDepth != 32 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c := (Config{MaxLatency: NoLatency}).withDefaults(); c.MaxLatency != 0 {
+		t.Fatalf("NoLatency must resolve to 0, got %v", c.MaxLatency)
+	}
+	mod := testModule(t)
+	for _, bad := range []Config{
+		{PoolSize: -1},
+		{MaxBatch: -2},
+		{QueueDepth: -3},
+	} {
+		if _, err := New(mod, "", bad); err == nil {
+			t.Fatalf("config %+v must be rejected", bad)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Config tunes the serving stack. The zero value of each field selects the
+// default noted on it.
+type Config struct {
+	// PoolSize bounds the session pool (default 2). Each session is one
+	// execution lane with its own arena; for throughput, compile the module
+	// with Threads=1/BackendSerial and size the pool to the core count.
+	PoolSize int
+	// MaxBatch caps how many requests one dispatch coalesces (default 8).
+	MaxBatch int
+	// MaxLatency is the longest the batcher lingers for stragglers once a
+	// session is free and at least one request is waiting. The default is
+	// 2ms; pass NoLatency to dispatch immediately with whatever is queued.
+	MaxLatency time.Duration
+	// QueueDepth bounds admission; a full queue answers 429 (default
+	// 4*MaxBatch).
+	QueueDepth int
+}
+
+// NoLatency disables the straggler window: batches dispatch with whatever is
+// already queued.
+const NoLatency = time.Duration(-1)
+
+// withDefaults resolves zero fields; it does not validate (New does).
+func (c Config) withDefaults() Config {
+	if c.PoolSize == 0 {
+		c.PoolSize = 2
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxLatency == 0 {
+		c.MaxLatency = 2 * time.Millisecond
+	}
+	if c.MaxLatency < 0 {
+		c.MaxLatency = 0
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// Server exposes one compiled module over the kserve-v2-style JSON protocol:
+//
+//	GET  /v2                        server metadata
+//	GET  /v2/health/live            liveness
+//	GET  /v2/health/ready           readiness (warm session, not closed)
+//	GET  /v2/models/<name>          model metadata
+//	GET  /v2/models/<name>/ready    per-model readiness
+//	POST /v2/models/<name>/infer    inference
+//	GET  /v2/stats                  pool + batcher statistics (extension)
+//
+// Requests are admitted into the micro-batcher; the Handler is safe for
+// arbitrary concurrent use.
+type Server struct {
+	mod     *core.Module
+	model   string
+	cfg     Config
+	pool    *SessionPool
+	batcher *Batcher
+	mux     *http.ServeMux
+	closed  atomic.Bool
+
+	maxBody int64
+}
+
+// Stats aggregates the serving-side counters.
+type Stats struct {
+	Model string     `json:"model"`
+	Pool  PoolStats  `json:"pool"`
+	Batch BatchStats `json:"batch"`
+}
+
+// New builds a server over a compiled module. The model name is the path
+// component clients address (conventionally the graph name).
+func New(mod *core.Module, model string, cfg Config) (*Server, error) {
+	if model == "" {
+		model = mod.Graph.Name
+	}
+	if cfg.PoolSize < 0 {
+		return nil, fmt.Errorf("serve: pool size must be positive, got %d", cfg.PoolSize)
+	}
+	if cfg.MaxBatch < 0 {
+		return nil, fmt.Errorf("serve: max batch must be positive, got %d", cfg.MaxBatch)
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("serve: queue depth must be positive, got %d", cfg.QueueDepth)
+	}
+	cfg = cfg.withDefaults()
+	pool, err := NewSessionPool(mod, cfg.PoolSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		mod:     mod,
+		model:   model,
+		cfg:     cfg,
+		pool:    pool,
+		batcher: NewBatcher(pool, cfg.MaxBatch, cfg.MaxLatency, cfg.QueueDepth),
+	}
+	// Bound request bodies: the input tensor is fixed-size, and JSON spends
+	// at most ~32 bytes per float32; headroom covers ids and whitespace.
+	s.maxBody = int64(32*s.mod.Graph.Input.OutShape.Volume() + 64*1024)
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the HTTP handler. Valid until Close.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Model returns the served model name.
+func (s *Server) Model() string { return s.model }
+
+// Stats snapshots the pool and batcher counters.
+func (s *Server) Stats() Stats {
+	return Stats{Model: s.model, Pool: s.pool.Stats(), Batch: s.batcher.Stats()}
+}
+
+// Close drains the batcher and marks the server unready. It does not close
+// the underlying module (the caller owns it).
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.batcher.Close()
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v2", s.handleServerMetadata)
+	s.mux.HandleFunc("GET /v2/health/live", s.handleLive)
+	s.mux.HandleFunc("GET /v2/health/ready", s.handleReady)
+	s.mux.HandleFunc("GET /v2/models/{model}", s.handleModelMetadata)
+	s.mux.HandleFunc("GET /v2/models/{model}/ready", s.handleModelReady)
+	s.mux.HandleFunc("POST /v2/models/{model}/infer", s.handleInfer)
+	s.mux.HandleFunc("GET /v2/stats", s.handleStats)
+}
+
+// Wire format (the kserve v2 inference protocol's JSON shapes, restricted to
+// the FP32 tensors this engine trades in).
+
+// InferTensor is one named tensor on the wire, row-major data.
+type InferTensor struct {
+	Name     string    `json:"name"`
+	Shape    []int     `json:"shape"`
+	Datatype string    `json:"datatype"`
+	Data     []float32 `json:"data"`
+}
+
+// InferRequest is the POST /v2/models/<name>/infer body.
+type InferRequest struct {
+	ID     string        `json:"id,omitempty"`
+	Inputs []InferTensor `json:"inputs"`
+}
+
+// InferResponse is the inference reply.
+type InferResponse struct {
+	ModelName string        `json:"model_name"`
+	ID        string        `json:"id,omitempty"`
+	Outputs   []InferTensor `json:"outputs"`
+}
+
+type modelMetadata struct {
+	Name     string           `json:"name"`
+	Platform string           `json:"platform"`
+	Inputs   []tensorMetadata `json:"inputs"`
+	Outputs  []tensorMetadata `json:"outputs"`
+}
+
+type tensorMetadata struct {
+	Name     string `json:"name"`
+	Datatype string `json:"datatype"`
+	Shape    []int  `json:"shape"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"live": true})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+}
+
+func (s *Server) handleServerMetadata(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":       "neocpu-serve",
+		"extensions": []string{"stats"},
+		"models":     []string{s.model},
+	})
+}
+
+func (s *Server) checkModel(w http.ResponseWriter, r *http.Request) bool {
+	if name := r.PathValue("model"); name != s.model {
+		writeError(w, http.StatusNotFound, "unknown model %q (serving %q)", name, s.model)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleModelReady(w http.ResponseWriter, r *http.Request) {
+	if !s.checkModel(w, r) {
+		return
+	}
+	s.handleReady(w, r)
+}
+
+func (s *Server) handleModelMetadata(w http.ResponseWriter, r *http.Request) {
+	if !s.checkModel(w, r) {
+		return
+	}
+	md := modelMetadata{
+		Name:     s.model,
+		Platform: "neocpu-go",
+		Inputs: []tensorMetadata{{
+			Name:     "input",
+			Datatype: "FP32",
+			Shape:    s.mod.Graph.Input.OutShape.Dims,
+		}},
+	}
+	for i, o := range s.mod.Graph.Outputs {
+		md.Outputs = append(md.Outputs, tensorMetadata{
+			Name:     fmt.Sprintf("output_%d", i),
+			Datatype: "FP32",
+			Shape:    o.OutShape.Dims,
+		})
+	}
+	writeJSON(w, http.StatusOK, md)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if !s.checkModel(w, r) {
+		return
+	}
+	var req InferRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return
+	}
+	in, err := s.requestTensor(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	outs, err := s.batcher.Do(r.Context(), in)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server overloaded: %v", err)
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case r.Context().Err() != nil:
+			// The client is gone; the status is a formality.
+			writeError(w, http.StatusRequestTimeout, "request cancelled: %v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "inference failed: %v", err)
+		}
+		return
+	}
+
+	resp := InferResponse{ModelName: s.model, ID: req.ID}
+	for i, o := range outs {
+		resp.Outputs = append(resp.Outputs, InferTensor{
+			Name:     fmt.Sprintf("output_%d", i),
+			Shape:    o.Shape,
+			Datatype: "FP32",
+			Data:     o.Data,
+		})
+	}
+	// Encode before writing the status: output tensors can legitimately
+	// carry non-finite values (saturated activations), which JSON cannot
+	// represent — that must surface as a 500, not a 200 with a dead body.
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload)
+}
+
+// requestTensor validates the request against the compiled input geometry
+// and builds the NCHW input tensor.
+func (s *Server) requestTensor(req *InferRequest) (*tensor.Tensor, error) {
+	if len(req.Inputs) != 1 {
+		return nil, fmt.Errorf("expected exactly 1 input tensor, got %d", len(req.Inputs))
+	}
+	in := req.Inputs[0]
+	if in.Datatype != "" && in.Datatype != "FP32" {
+		return nil, fmt.Errorf("unsupported datatype %q (only FP32)", in.Datatype)
+	}
+	want := s.mod.Graph.Input.OutShape.Dims
+	if len(in.Shape) != len(want) {
+		return nil, fmt.Errorf("input shape %v, want %v", in.Shape, want)
+	}
+	n := 1
+	for i, d := range in.Shape {
+		if d != want[i] {
+			return nil, fmt.Errorf("input shape %v, want %v", in.Shape, want)
+		}
+		n *= d
+	}
+	if len(in.Data) != n {
+		return nil, fmt.Errorf("input data has %d elements, shape %v needs %d", len(in.Data), in.Shape, n)
+	}
+	return tensor.FromData(tensor.NCHW(), in.Data, want...), nil
+}

@@ -1,0 +1,158 @@
+package neocpu
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Server exposes a compiled Engine over HTTP with pooled sessions and
+// dynamic micro-batching, speaking a kserve-v2-style JSON protocol:
+//
+//	GET  /v2/health/live, /v2/health/ready     probes
+//	GET  /v2/models/<name>[/ready]             metadata, per-model readiness
+//	POST /v2/models/<name>/infer               inference
+//	GET  /v2/stats                             pool + batcher counters
+//
+// Concurrent requests are coalesced into micro-batches (bounded by
+// WithMaxBatch, lingering at most WithMaxLatency for stragglers) and
+// executed on a bounded pool of arena-reusing sessions; a full admission
+// queue answers 429. Construct with NewServer for embedding (Handler), or
+// call Serve to listen directly.
+type Server struct {
+	inner *serve.Server
+}
+
+// ServerStats reports the serving counters: pool occupancy and aggregated
+// session work, plus the batcher's observed coalescing (Items/Batches is the
+// mean batch size) and rejections.
+type ServerStats = serve.Stats
+
+// ServeOption configures NewServer / Serve.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	cfg serve.Config
+	err error
+}
+
+// WithPoolSize bounds the session pool (default 2). Sessions are created
+// lazily up to the bound and recycled across requests; each is one
+// execution lane with its own preallocated arena. For throughput, compile
+// the engine with WithThreads(1) and WithBackend(BackendSerial), and size
+// the pool to the machine's core count.
+func WithPoolSize(n int) ServeOption {
+	return func(c *serveConfig) {
+		if n <= 0 {
+			c.err = fmt.Errorf("%w: pool size %d (must be >= 1)", ErrBadOption, n)
+			return
+		}
+		c.cfg.PoolSize = n
+	}
+}
+
+// WithMaxBatch caps how many concurrent requests one dispatch coalesces
+// into a Session.RunBatch call (default 8).
+func WithMaxBatch(n int) ServeOption {
+	return func(c *serveConfig) {
+		if n <= 0 {
+			c.err = fmt.Errorf("%w: max batch %d (must be >= 1)", ErrBadOption, n)
+			return
+		}
+		c.cfg.MaxBatch = n
+	}
+}
+
+// WithMaxLatency sets how long the batcher lingers for stragglers once a
+// session is free and a request is waiting (default 2ms). It trades
+// single-request latency for larger batches under load; 0 dispatches
+// immediately with whatever has already queued.
+func WithMaxLatency(d time.Duration) ServeOption {
+	return func(c *serveConfig) {
+		if d < 0 {
+			c.err = fmt.Errorf("%w: negative max latency %v", ErrBadOption, d)
+			return
+		}
+		if d == 0 {
+			c.cfg.MaxLatency = serve.NoLatency
+			return
+		}
+		c.cfg.MaxLatency = d
+	}
+}
+
+// WithQueueDepth bounds the admission queue (default 4x the max batch).
+// Requests beyond it are rejected with 429 instead of queueing unbounded
+// work.
+func WithQueueDepth(n int) ServeOption {
+	return func(c *serveConfig) {
+		if n <= 0 {
+			c.err = fmt.Errorf("%w: queue depth %d (must be >= 1)", ErrBadOption, n)
+			return
+		}
+		c.cfg.QueueDepth = n
+	}
+}
+
+// NewServer builds a serving stack over a compiled engine. The model name
+// is the path component clients address; "" uses the compiled graph's name.
+// Close the server when done (the engine stays open — the caller owns it).
+func NewServer(e *Engine, model string, opts ...ServeOption) (*Server, error) {
+	if e == nil {
+		return nil, fmt.Errorf("%w: nil engine", ErrBadOption)
+	}
+	if e.PredictOnly() {
+		return nil, ErrPredictOnly
+	}
+	var c serveConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	inner, err := serve.New(e.mod, model, c.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: inner}, nil
+}
+
+// Handler returns the HTTP handler, for embedding into an existing mux or
+// an httptest server.
+func (s *Server) Handler() http.Handler { return s.inner.Handler() }
+
+// Model returns the served model name.
+func (s *Server) Model() string { return s.inner.Model() }
+
+// Stats snapshots the pool and batcher counters. Safe to call concurrently
+// with request handling.
+func (s *Server) Stats() ServerStats { return s.inner.Stats() }
+
+// Close drains in-flight batches and marks the server unready. Idempotent.
+func (s *Server) Close() { s.inner.Close() }
+
+// Serve runs an inference server for the engine on addr until ctx is done,
+// then shuts down gracefully. It returns nil after a ctx-triggered
+// shutdown, and the listener error otherwise.
+func Serve(ctx context.Context, addr string, e *Engine, model string, opts ...ServeOption) error {
+	srv, err := NewServer(e, model, opts...)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutdownCtx)
+	case err := <-errc:
+		return err
+	}
+}
