@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/benchkernels"
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/machine"
 	"repro/internal/models"
 	"repro/internal/search"
@@ -33,6 +34,9 @@ type benchEntry struct {
 	// BytesPerOp / AllocsPerOp are reported for measured entries only.
 	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// ArenaBytes is the planned per-session arena of the compiled module a
+	// session benchmark ran against (the memory planner's footprint).
+	ArenaBytes int64 `json:"arena_bytes,omitempty"`
 }
 
 // benchFile is the serialized BENCH_<target>.json document. It carries no
@@ -178,36 +182,62 @@ func measureHostKernels() ([]benchEntry, error) {
 		}
 	}
 
+	// Session benchmarks: the entry name promises which execution path was
+	// measured, so each case verifies its plan before timing — trajectory
+	// data that silently measures the wrong path would poison every diff.
+	winogradGuard := func(want bool) func(*core.Module) error {
+		return func(m *core.Module) error {
+			winogradConvs := 0
+			for _, n := range m.Graph.Convs() {
+				if n.Sched.Algorithm == machine.AlgoWinograd {
+					winogradConvs++
+				}
+			}
+			if want && winogradConvs == 0 {
+				return fmt.Errorf("global search scheduled no winograd convolutions")
+			}
+			if !want && winogradConvs != 0 {
+				return fmt.Errorf("winograd scheduled despite DisableWinograd")
+			}
+			return nil
+		}
+	}
+	interOpGuard := func(m *core.Module) error {
+		if m.PlanStats().InterOpLevels == 0 {
+			return fmt.Errorf("plan scheduled no inter-op levels")
+		}
+		return nil
+	}
+	serial := core.Options{Level: core.OptGlobalSearch, Threads: 1, Backend: machine.BackendSerial}
+	serialNoWino := serial
+	serialNoWino.DisableWinograd = true
+	// The inter-op matchup: the same branchy model, same 4-wide pool, with
+	// the executor's level dispatch off vs on. On a multi-core host the
+	// inter-op entry tracks the branchy-model speedup; the arena bytes track
+	// the memory planner across PRs.
+	pool4 := core.Options{Level: core.OptTransformElim, Threads: 4, Backend: machine.BackendPool}
+	pool4Seq := pool4
+	pool4Seq.DisableInterOp = true
 	for _, cfg := range []struct {
-		name            string
-		disableWinograd bool
+		name      string
+		model     func(uint64) *graph.Graph
+		opts      core.Options
+		planGuard func(*core.Module) error
 	}{
-		{"session-run/tiny-resnet-direct", true},
-		{"session-run/tiny-resnet-winograd", false},
+		{"session-run/tiny-resnet-direct", models.TinyResNet, serialNoWino, winogradGuard(false)},
+		{"session-run/tiny-resnet-winograd", models.TinyResNet, serial, winogradGuard(true)},
+		{"session-run/tiny-inception-seq", models.TinyInception, pool4Seq, nil},
+		{"session-run/tiny-inception-interop", models.TinyInception, pool4, interOpGuard},
 	} {
-		m, err := core.Compile(models.TinyResNet(1), machine.IntelSkylakeC5(), core.Options{
-			Level: core.OptGlobalSearch, Threads: 1, Backend: machine.BackendSerial,
-			DisableWinograd: cfg.disableWinograd,
-		})
+		m, err := core.Compile(cfg.model(1), machine.IntelSkylakeC5(), cfg.opts)
 		if err != nil {
 			return nil, err
 		}
-		// The entry name promises which execution path was measured; if the
-		// search stops scheduling winograd here, the trajectory data would
-		// silently lie, so verify the plan before timing.
-		winogradConvs := 0
-		for _, n := range m.Graph.Convs() {
-			if n.Sched.Algorithm == machine.AlgoWinograd {
-				winogradConvs++
+		if cfg.planGuard != nil {
+			if err := cfg.planGuard(m); err != nil {
+				m.Close()
+				return nil, fmt.Errorf("neocpu-bench: %q: %w", cfg.name, err)
 			}
-		}
-		if !cfg.disableWinograd && winogradConvs == 0 {
-			m.Close()
-			return nil, fmt.Errorf("neocpu-bench: %q: global search scheduled no winograd convolutions", cfg.name)
-		}
-		if cfg.disableWinograd && winogradConvs != 0 {
-			m.Close()
-			return nil, fmt.Errorf("neocpu-bench: %q: winograd scheduled despite DisableWinograd", cfg.name)
 		}
 		s, err := m.NewSession()
 		if err != nil {
@@ -225,10 +255,12 @@ func measureHostKernels() ([]benchEntry, error) {
 				}
 			}
 		})
+		arena := s.ArenaBytes()
 		m.Close()
 		if err := record(cfg.name, r); err != nil {
 			return nil, err
 		}
+		out[len(out)-1].ArenaBytes = int64(arena)
 	}
 	return out, nil
 }

@@ -31,7 +31,22 @@ import (
 func main() {
 	exp := flag.String("experiment", "all", "table1|table2a|table2b|table2c|table3|figure4a|figure4b|figure4c|all")
 	jsonDir := flag.String("json", "", "write machine-readable BENCH_<target>.json files into this directory and exit")
+	arenaGuard := flag.String("arena-guard", "", "compare planned arena bytes against this baseline JSON and exit non-zero on >10% regression")
+	arenaWrite := flag.String("write-arena-baseline", "", "measure planned arena bytes and (re)write this baseline JSON")
 	flag.Parse()
+
+	if *arenaWrite != "" {
+		if err := writeArenaBaseline(*arenaWrite); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *arenaGuard != "" {
+		if err := checkArenaBaseline(*arenaGuard); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *jsonDir != "" {
 		if err := writeBenchJSON(*jsonDir); err != nil {

@@ -19,7 +19,8 @@
 // instead parallelize each single inference over the shared kernel pool.
 //
 // Besides the paper's registry models, the tiny-* test models (tiny-cnn,
-// tiny-resnet, tiny-densenet, tiny-vgg) are accepted for fast smoke tests.
+// tiny-resnet, tiny-densenet, tiny-inception, tiny-ssd, tiny-vgg) are
+// accepted for fast smoke tests.
 package main
 
 import (
@@ -38,18 +39,20 @@ import (
 
 // tinyBuilders are the non-registry smoke-test models.
 var tinyBuilders = map[string]func(uint64) *graph.Graph{
-	"tiny-cnn":      models.TinyCNN,
-	"tiny-resnet":   models.TinyResNet,
-	"tiny-densenet": models.TinyDenseNet,
-	"tiny-vgg":      models.TinyVGG,
+	"tiny-cnn":       models.TinyCNN,
+	"tiny-resnet":    models.TinyResNet,
+	"tiny-densenet":  models.TinyDenseNet,
+	"tiny-inception": models.TinyInception,
+	"tiny-ssd":       models.TinySSD,
+	"tiny-vgg":       models.TinyVGG,
 }
 
 func main() {
-	model := flag.String("model", "resnet-18", "model name (paper registry, or tiny-cnn/tiny-resnet/tiny-densenet/tiny-vgg)")
+	model := flag.String("model", "resnet-18", "model name (paper registry, or tiny-cnn/tiny-resnet/tiny-densenet/tiny-inception/tiny-ssd/tiny-vgg)")
 	addr := flag.String("addr", ":8000", "listen address")
 	levelName := flag.String("level", "global-search", "baseline-nchw|layout-opt|transform-elim|global-search")
 	threads := flag.Int("threads", 1, "kernel threads per inference (1 = serial sessions, pool scales across cores)")
-	poolSize := flag.Int("pool", 2, "max pooled sessions (one arena each)")
+	poolSize := flag.Int("pool", 0, "max pooled sessions, one arena each (0 = auto from planned arena bytes)")
 	maxBatch := flag.Int("max-batch", 8, "max requests coalesced per dispatch")
 	maxLatency := flag.Duration("max-latency", 2*time.Millisecond, "longest wait for batch stragglers (0 = dispatch immediately)")
 	queueDepth := flag.Int("queue", 0, "admission queue depth (0 = 4x max-batch); beyond it requests get 429")
@@ -91,18 +94,26 @@ func main() {
 	fmt.Printf("compiled in %v; input shape %v\n", time.Since(start).Round(time.Millisecond), engine.InputShape())
 
 	sopts := []neocpu.ServeOption{
-		neocpu.WithPoolSize(*poolSize),
 		neocpu.WithMaxBatch(*maxBatch),
 		neocpu.WithMaxLatency(*maxLatency),
+	}
+	poolLabel := "auto"
+	if *poolSize > 0 {
+		sopts = append(sopts, neocpu.WithPoolSize(*poolSize))
+		poolLabel = fmt.Sprint(*poolSize)
 	}
 	if *queueDepth > 0 {
 		sopts = append(sopts, neocpu.WithQueueDepth(*queueDepth))
 	}
 
+	ps := engine.PlanStats()
+	fmt.Printf("plan: %d values in %d slots, %d KiB arena/session (%.1fx vs unplanned), %d levels (%d inter-op)\n",
+		ps.Values, ps.Slots, ps.ArenaBytes/1024,
+		float64(ps.NaiveArenaBytes)/float64(ps.ArenaBytes), ps.Levels, ps.InterOpLevels)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("serving %s on %s (pool=%d max-batch=%d max-latency=%v)\n",
-		*model, *addr, *poolSize, *maxBatch, *maxLatency)
+	fmt.Printf("serving %s on %s (pool=%s max-batch=%d max-latency=%v)\n",
+		*model, *addr, poolLabel, *maxBatch, *maxLatency)
 	if err := neocpu.Serve(ctx, *addr, engine, *model, sopts...); err != nil {
 		fatal(err)
 	}

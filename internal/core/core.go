@@ -96,6 +96,13 @@ type Options struct {
 	// rounding than direct summation; callers needing bit-compatible direct
 	// results can opt out here.
 	DisableWinograd bool
+	// DisableInterOp pins every dependency level of the execution plan to
+	// sequential (intra-op only) node execution. By default the compile-time
+	// policy dispatches levels of balanced independent branches (Inception
+	// towers, SSD heads) across the thread pool; results are bit-identical
+	// either way — the plan keeps concurrent levels alias-free — so this is
+	// a performance knob, not a numerics one.
+	DisableInterOp bool
 	// Search configures the global search at OptGlobalSearch.
 	Search search.Options
 }
@@ -273,6 +280,12 @@ func finalizeModule(g *graph.Graph, t *machine.Target, level OptLevel, searchOut
 	m.slot = make(map[*graph.Node]int, len(m.program))
 	for i, n := range m.program {
 		m.slot[n] = i
+	}
+	// Compile the execution plan: liveness-packed arena slots and the
+	// level-synchronous inter-op schedule. Prediction-only modules never
+	// execute, so they skip it (alongside the threading runtime below).
+	if !opts.NoPrepack {
+		m.plan = buildExecPlan(g, m.program, opts.Int8, m.threads, m.backend, opts.DisableInterOp)
 	}
 	// Construct the threading runtime now rather than lazily on first Run:
 	// concurrent Sessions share one module, and a lazy first-use init would

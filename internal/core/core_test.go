@@ -219,28 +219,9 @@ func TestSSDCompilesAndPredicts(t *testing.T) {
 }
 
 func TestTinySSDRunsEndToEnd(t *testing.T) {
-	// A miniature SSD exercises the head executor for real.
-	b := graph.NewBuilder("tiny-ssd", 21)
-	x := b.Input(3, 64, 64)
-	x = b.ConvBNReLU(x, 16, 3, 2, 1)    // 32x32
-	s0 := b.ConvBNReLU(x, 32, 3, 2, 1)  // 16x16
-	s1 := b.ConvBNReLU(s0, 32, 3, 2, 1) // 8x8
-	attrs := graph.SSDHeadAttrs{
-		NumClasses: 4,
-		Sizes:      [][]float32{{0.2, 0.3}, {0.4, 0.5}},
-		Ratios:     [][]float32{{1, 2, 0.5}, {1, 2, 0.5}},
-	}
-	attrs.Detection.ScoreThresh = 0.1
-	attrs.Detection.NMSThresh = 0.45
-	attrs.Detection.NMSTopK = 100
-	attrs.Detection.Variances = [4]float32{0.1, 0.1, 0.2, 0.2}
-	per := 4 // 2 sizes + 3 ratios - 1
-	cls0 := b.Conv(s0, per*(attrs.NumClasses+1), 3, 1, 1)
-	loc0 := b.Conv(s0, per*4, 3, 1, 1)
-	cls1 := b.Conv(s1, per*(attrs.NumClasses+1), 3, 1, 1)
-	loc1 := b.Conv(s1, per*4, 3, 1, 1)
-	g := b.Finish(b.SSDHead(attrs, cls0, loc0, cls1, loc1))
-
+	// A miniature SSD exercises the head executor for real (and, with a
+	// 2-thread pool, the inter-op dispatch of its independent head convs).
+	g := models.TinySSD(21)
 	m, err := Compile(g, skylake(), Options{Level: OptTransformElim, Threads: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -256,9 +237,10 @@ func TestTinySSDRunsEndToEnd(t *testing.T) {
 	if det.Rank() != 3 || det.Shape[2] != 6 {
 		t.Fatalf("detection tensor shape %v", det.Shape)
 	}
+	const scoreThresh = 0.1 // models.TinySSD's detection threshold
 	for i := 0; i < det.Shape[1]; i++ {
 		score := det.Data[i*6+1]
-		if score < attrs.Detection.ScoreThresh || score > 1 {
+		if score < scoreThresh || score > 1 {
 			t.Fatalf("detection %d score %v out of range", i, score)
 		}
 	}

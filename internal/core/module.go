@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -39,6 +40,10 @@ type Module struct {
 	program []*graph.Node
 	// slot maps every program node to its index in per-run value tables.
 	slot map[*graph.Node]int
+	// plan is the compile-time execution plan (liveness-packed arena slots,
+	// level-synchronous inter-op schedule). Nil only for prediction-only
+	// modules, which cannot execute.
+	plan *execPlan
 	// packed holds the compile-time pre-transformed OIHW[x]i[y]o weights.
 	packed map[*graph.Node]*tensor.Tensor
 	// qpacked holds the quantized pre-transformed weights (Int8 modules).
@@ -110,27 +115,30 @@ func (m *Module) checkInput(input *tensor.Tensor) error {
 // probabilities; SSD returns a (1, numDetections, 6) tensor whose rows are
 // (class, score, xmin, ymin, xmax, ymax).
 //
-// Run allocates every intermediate per call. For repeated or concurrent
-// inference prefer NewSession, whose preallocated arena makes steady-state
-// execution allocation-free.
+// Run materializes a throwaway arena per call — there is exactly one
+// execution code path, the planned executor behind Session. The returned
+// tensors own that arena's output slots, so they remain valid indefinitely.
+// For repeated or concurrent inference prefer NewSession, which reuses its
+// arena and makes steady-state execution allocation-free.
 func (m *Module) Run(input *tensor.Tensor) ([]*tensor.Tensor, error) {
 	if err := m.checkInput(input); err != nil {
 		return nil, err
 	}
-	pf := m.parallelFor()
-	vals := make([]*tensor.Tensor, len(m.program))
-	for i, n := range m.program {
-		out, err := m.exec(n, vals, input, pf, nil)
-		if err != nil {
-			return nil, fmt.Errorf("core: executing %v: %w", n, err)
-		}
-		vals[i] = out
+	s, err := m.NewSession()
+	if err != nil {
+		return nil, err
 	}
-	outs := make([]*tensor.Tensor, len(m.Graph.Outputs))
-	for i, o := range m.Graph.Outputs {
-		outs[i] = vals[m.slot[o]]
+	return s.Run(context.Background(), input)
+}
+
+// PlanStats summarizes the module's compile-time execution plan (arena slot
+// packing, level schedule). The zero value is returned for prediction-only
+// modules, which carry no plan.
+func (m *Module) PlanStats() PlanStats {
+	if m.plan == nil {
+		return PlanStats{}
 	}
-	return outs, nil
+	return m.plan.stats
 }
 
 // nodeBuffers carries one node's preallocated arena slots for a Session run.

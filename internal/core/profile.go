@@ -73,29 +73,35 @@ func (p *Profile) String() string {
 }
 
 // RunProfiled executes one inference like Run while timing every operator.
-// It returns the outputs and the profile. Instrumentation adds one clock
-// read per node, so profiled latency slightly exceeds Run latency.
+// It returns the outputs and the profile. Per-operator timing requires
+// sequential node execution, so profiled runs walk the plan's levels in
+// order with intra-op kernels only (inter-op dispatch is disabled for the
+// measurement), and instrumentation adds one clock read per node — profiled
+// latency slightly exceeds Run latency.
 func (m *Module) RunProfiled(input *tensor.Tensor) ([]*tensor.Tensor, *Profile, error) {
 	if err := m.checkInput(input); err != nil {
 		return nil, nil, err
 	}
+	s, err := m.NewSession()
+	if err != nil {
+		return nil, nil, err
+	}
 	pf := m.parallelFor()
 	prof := &Profile{Timings: make([]OpTiming, 0, len(m.program))}
-	vals := make([]*tensor.Tensor, len(m.program))
 	start := time.Now()
-	for i, n := range m.program {
-		opStart := time.Now()
-		out, err := m.exec(n, vals, input, pf, nil)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: executing %v: %w", n, err)
+	for _, level := range m.plan.levels {
+		for _, i := range level {
+			opStart := time.Now()
+			if err := s.execStep(i, input, pf); err != nil {
+				return nil, nil, err
+			}
+			prof.Timings = append(prof.Timings, OpTiming{Node: m.program[i], Elapsed: time.Since(opStart)})
 		}
-		vals[i] = out
-		prof.Timings = append(prof.Timings, OpTiming{Node: n, Elapsed: time.Since(opStart)})
 	}
 	prof.Total = time.Since(start)
 	outs := make([]*tensor.Tensor, len(m.Graph.Outputs))
 	for i, o := range m.Graph.Outputs {
-		outs[i] = vals[m.slot[o]]
+		outs[i] = s.vals[m.slot[o]]
 	}
 	return outs, prof, nil
 }

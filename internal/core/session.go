@@ -6,17 +6,18 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/graph"
-	"repro/internal/machine"
 	"repro/internal/ops"
 	"repro/internal/tensor"
+	"repro/internal/threadpool"
 )
 
-// Session is a reusable execution context over a compiled Module. It owns a
-// per-node tensor arena: every operator's output buffer (plus the padding and
-// transform scratch the kernels need) is allocated once at session creation,
-// sized from the compiled graph's shapes, and reused across calls — so
-// steady-state Run performs no per-node allocation.
+// Session is a reusable execution context over a compiled Module. It
+// materializes the module's compile-time execution plan: a small set of
+// shared, size-classed arena slots (assigned by liveness analysis, so
+// simultaneously-live values never alias) backs every operator's output,
+// padding and transform scratch — allocated once at session creation and
+// reused across calls, so steady-state Run performs no per-node allocation
+// and the arena is several-fold smaller than one buffer per node.
 //
 // A Session is NOT safe for concurrent use: it is a single execution lane.
 // The Module it came from IS safe to share — weights, packed parameters and
@@ -34,17 +35,24 @@ import (
 //		}()
 //	}
 //
-// Threading note: with BackendPool (or BackendOMP), the module's kernel
-// parallel regions are serialized across sessions — the shared pool runs one
-// region at a time, so a wide pool minimizes single-request latency but adds
-// no cross-session throughput. Throughput-oriented servers should compile
-// with Threads=1/BackendSerial: each session then runs its whole inference
-// on its own goroutine, and N sessions genuinely occupy N cores.
+// Threading note: with BackendPool (or BackendOMP), the module's parallel
+// regions — kernel loops on sequential levels, node dispatch on inter-op
+// levels — are serialized across sessions: the shared pool runs one region
+// at a time, so a wide pool minimizes single-request latency but adds no
+// cross-session throughput. Throughput-oriented servers should compile with
+// Threads=1/BackendSerial: each session then runs its whole inference on its
+// own goroutine, and N sessions genuinely occupy N cores.
 type Session struct {
-	m    *Module
-	vals []*tensor.Tensor
-	bufs []nodeBuffers
-	outs []*tensor.Tensor
+	m *Module
+	// slotData holds one backing array per plan slot; bufs holds the
+	// per-node tensor views over them.
+	slotData [][]float32
+	vals     []*tensor.Tensor
+	bufs     []nodeBuffers
+	outs     []*tensor.Tensor
+	// errs is the per-lane error staging area for inter-op levels, sized to
+	// the widest level once so dispatch allocates nothing.
+	errs []error
 
 	// Work counters. The session itself is a single execution lane, but a
 	// serving pool reads these concurrently with runs (stats endpoints,
@@ -75,26 +83,18 @@ func (s *Session) Stats() SessionStats {
 	}
 }
 
-// ArenaBytes reports the total size of the session's preallocated tensor
-// arena. Serving layers use it to budget pool growth and to bound acceptable
-// per-request allocation (steady-state request handling should allocate well
-// under one arena's worth).
+// ArenaBytes reports the total size of the session's preallocated arena —
+// the planned shared slots, each counted once. Serving layers use it to
+// budget pool growth and to bound acceptable per-request allocation
+// (steady-state request handling should allocate well under one arena's
+// worth).
 func (s *Session) ArenaBytes() int {
-	total := 0
-	add := func(t *tensor.Tensor) {
-		if t != nil {
-			total += 4 * len(t.Data)
-		}
-	}
-	for i := range s.bufs {
-		b := &s.bufs[i]
-		add(b.out)
-		add(b.pad)
-		add(b.wino)
-		add(b.scratch)
-	}
-	return total
+	return s.m.plan.stats.ArenaBytes
 }
+
+// PlanStats returns the compile-time execution-plan summary this session
+// materializes: slot packing, arena footprint, and the inter-op schedule.
+func (s *Session) PlanStats() PlanStats { return s.m.PlanStats() }
 
 // BatchError reports that a RunBatch stopped before executing every input.
 // Completed counts the items that finished: the batch results returned
@@ -112,90 +112,118 @@ func (e *BatchError) Error() string {
 
 func (e *BatchError) Unwrap() error { return e.Err }
 
-// NewSession creates an execution context with a freshly allocated arena.
-// Prediction-only (NoPrepack) modules cannot execute and return an error.
+// NewSession materializes the module's execution plan into a freshly
+// allocated arena. Prediction-only (NoPrepack) modules cannot execute and
+// return an error.
 func (m *Module) NewSession() (*Session, error) {
 	if m.noPrepack {
 		return nil, fmt.Errorf("core: module was compiled with NoPrepack (prediction-only); recompile without it to execute")
 	}
+	p := m.plan
 	s := &Session{
-		m:    m,
-		vals: make([]*tensor.Tensor, len(m.program)),
-		bufs: make([]nodeBuffers, len(m.program)),
-		outs: make([]*tensor.Tensor, len(m.Graph.Outputs)),
+		m:        m,
+		slotData: make([][]float32, len(p.slots)),
+		vals:     make([]*tensor.Tensor, len(m.program)),
+		bufs:     make([]nodeBuffers, len(m.program)),
+		outs:     make([]*tensor.Tensor, len(m.Graph.Outputs)),
+		errs:     make([]error, p.stats.MaxWidth),
 	}
-	for i, n := range m.program {
-		s.bufs[i] = m.arenaFor(n)
+	for i, sl := range p.slots {
+		// Zero-filled by make: pad slots rely on their border staying zero
+		// (kernels only ever write the interior, and a pad slot is shared
+		// exclusively between identical geometries).
+		s.slotData[i] = make([]float32, sl.elems)
+	}
+	view := func(b planBuf) *tensor.Tensor {
+		if b.slot < 0 {
+			return nil
+		}
+		return &tensor.Tensor{
+			Shape:  append([]int(nil), b.dims...),
+			Data:   s.slotData[b.slot][:b.elems],
+			Layout: b.layout,
+		}
+	}
+	for i, st := range p.steps {
+		s.bufs[i] = nodeBuffers{
+			out:     view(st.out),
+			pad:     view(st.pad),
+			wino:    view(st.wino),
+			scratch: view(st.scratch),
+		}
+		if st.concat > 0 {
+			s.bufs[i].concat = make([]*tensor.Tensor, st.concat)
+		}
 	}
 	return s, nil
 }
 
-// arenaFor sizes one node's arena buffers from the compiled shapes
-// (OutShape + OutLayout). Nodes whose output is an alias (input, dropout) or
-// data-dependent (SSD head) get no buffer and keep allocating per call.
-func (m *Module) arenaFor(n *graph.Node) nodeBuffers {
-	var b nodeBuffers
-	switch n.Op {
-	case graph.OpInput, graph.OpDropout, graph.OpSSDHead:
-		return b
-	case graph.OpConcat:
-		b.concat = make([]*tensor.Tensor, len(n.Inputs))
-	case graph.OpConv2D:
-		if n.Sched.Layout.Kind == tensor.LayoutNCHWc && !m.Int8 {
-			in := n.Inputs[0]
-			physIn := physicalDims(in.OutShape, in.OutLayout)
-			if n.Sched.Algorithm == machine.AlgoWinograd {
-				// Winograd pads implicitly in its data transform; its scratch
-				// is the per-tile-row V buffer instead.
-				b.wino = tensor.New(tensor.Flat(), ops.WinogradScratchShape(physIn, n.Conv)...)
-			} else if pad := ops.PaddedShapeNCHWc(physIn, n.Conv); pad != nil {
-				b.pad = tensor.New(in.OutLayout, pad...)
-			}
-		}
-	case graph.OpLayoutTransform:
-		if tensor.NeedsTransformScratch(n.Inputs[0].OutLayout, n.Transform) {
-			b.scratch = tensor.New(tensor.NCHW(), n.OutShape.Dims...)
-		}
+// execStep executes one program node into its planned buffers.
+func (s *Session) execStep(i int, input *tensor.Tensor, pf ops.ParallelFor) error {
+	n := s.m.program[i]
+	out, err := s.m.exec(n, s.vals, input, pf, &s.bufs[i])
+	if err != nil {
+		return fmt.Errorf("core: executing %v: %w", n, err)
 	}
-	b.out = tensor.New(n.OutLayout, physicalDims(n.OutShape, n.OutLayout)...)
-	return b
+	s.vals[i] = out
+	return nil
 }
 
-// physicalDims converts a logical output shape plus its assigned physical
-// layout into concrete buffer dimensions.
-func physicalDims(shape graph.Shape, l tensor.Layout) []int {
-	switch l.Kind {
-	case tensor.LayoutNCHW, tensor.LayoutNHWC, tensor.LayoutNCHWc:
-		as := tensor.ActivationShape{N: shape.Dims[0], C: shape.Dims[1], H: shape.Dims[2], W: shape.Dims[3]}
-		return as.PhysicalShape(l)
-	default:
-		// Flat (and any rank-2) outputs store exactly their logical dims.
-		return shape.Dims
-	}
-}
-
-// run executes one inference into the arena, checking ctx between nodes.
+// run executes one inference through the level-synchronous plan. Sequential
+// levels hand the thread pool to the kernels (intra-op); inter-op levels
+// dispatch their independent nodes across the pool with serial kernels —
+// the compile-time policy chose the split per level. Ctx is checked between
+// levels (and between nodes of sequential levels), so cancellation takes
+// effect mid-inference.
 func (s *Session) run(ctx context.Context, input *tensor.Tensor, pf ops.ParallelFor) error {
 	m := s.m
-	for i, n := range m.program {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
+	p := m.plan
+	for li, level := range p.levels {
+		if p.interOp[li] && len(level) > 1 {
+			// One cancellation poll per inter-op level: the level is the unit
+			// of dispatch, so a poll per node would buy no earlier exit.
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			// Inter-op: one lane per independent node. The pool's join is the
+			// level barrier; lanes write disjoint vals entries and disjoint
+			// arena slots (the planner keeps a whole level alias-free).
+			errs := s.errs[:len(level)]
+			pf(len(level), func(k int) {
+				errs[k] = s.execStep(level[k], input, threadpool.Serial)
+			})
+			var first error
+			for k, err := range errs {
+				if err != nil && first == nil {
+					first = err
+				}
+				errs[k] = nil
+			}
+			if first != nil {
+				return first
+			}
+			continue
+		}
+		for _, i := range level {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := s.execStep(i, input, pf); err != nil {
 				return err
 			}
 		}
-		out, err := m.exec(n, s.vals, input, pf, &s.bufs[i])
-		if err != nil {
-			return fmt.Errorf("core: executing %v: %w", n, err)
-		}
-		s.vals[i] = out
 	}
 	return nil
 }
 
 // Run executes the model on one NCHW input, reusing the session arena. The
-// returned tensors are views into the arena: they are valid until the next
-// Run/RunBatch on this session, and must be Clone()d to outlive it. Ctx is
-// checked between graph nodes, so cancellation takes effect mid-inference.
+// returned tensors are views into the arena's pinned output slots: they are
+// valid until the next Run/RunBatch on this session, and must be Clone()d to
+// outlive it.
 func (s *Session) Run(ctx context.Context, input *tensor.Tensor) ([]*tensor.Tensor, error) {
 	if err := s.m.checkInput(input); err != nil {
 		return nil, err
@@ -220,7 +248,7 @@ func (s *Session) Run(ctx context.Context, input *tensor.Tensor) ([]*tensor.Tens
 // deep copies (the arena is reused between batch items), so they remain
 // valid indefinitely.
 //
-// Ctx is checked between batch items as well as between graph nodes. When a
+// Ctx is checked between batch items as well as between graph levels. When a
 // batch stops early — cancellation, or one item failing — RunBatch returns
 // the results of the items that completed together with a *BatchError whose
 // Completed field counts them: results[:Completed] are valid, fully

@@ -199,6 +199,175 @@ func TestFuseOpsResidual(t *testing.T) {
 	}
 }
 
+// TestFuseOpsDoubleConsumedConv: a convolution whose output feeds two
+// readers must not absorb either of them — fusing would change the value the
+// second reader sees. Regression test for the consumer-count check.
+func TestFuseOpsDoubleConsumedConv(t *testing.T) {
+	b := NewBuilder("dblcons", 3)
+	x := b.Input(8, 16, 16)
+	c := b.Conv(x, 16, 3, 1, 1)
+	// c is read by the relu AND by the pool: neither may fuse into c.
+	r := b.ReLU(c)
+	p := b.MaxPool(c, 2, 2, 0)
+	r = b.GlobalAvgPool(r)
+	p = b.GlobalAvgPool(p)
+	sum := b.Add(b.Flatten(r), b.Flatten(p))
+	g := b.Finish(sum)
+	if err := FuseOps(g); err != nil {
+		t.Fatal(err)
+	}
+	conv := g.Convs()[0]
+	if conv.FusedReLU || conv.FusedResidual != nil {
+		t.Fatalf("double-consumed conv was fused: relu=%v residual=%v", conv.FusedReLU, conv.FusedResidual)
+	}
+	relus := 0
+	for _, n := range g.Topo() {
+		if n.Op == OpReLU {
+			relus++
+		}
+	}
+	if relus != 1 {
+		t.Fatalf("standalone relu count = %d, want 1", relus)
+	}
+}
+
+// TestFuseOpsResidualDoubleConsumed: an add whose conv operand is also read
+// elsewhere must stay a standalone operator.
+func TestFuseOpsResidualDoubleConsumed(t *testing.T) {
+	b := NewBuilder("dblres", 3)
+	x := b.Input(8, 16, 16)
+	stem := b.ReLU(b.Conv(x, 16, 3, 1, 1))
+	c := b.Conv(stem, 16, 3, 1, 1)
+	sum := b.Add(c, stem)
+	// Second reader of c: concat with the residual sum.
+	cat := b.Concat(sum, c)
+	out := b.GlobalAvgPool(cat)
+	out = b.Flatten(out)
+	g := b.Finish(b.Dense(out, 4))
+	if err := FuseOps(g); err != nil {
+		t.Fatal(err)
+	}
+	adds := 0
+	for _, n := range g.Topo() {
+		if n.Op == OpAdd {
+			adds++
+		}
+		if n.IsConv() && n.FusedResidual != nil {
+			t.Fatalf("conv %v absorbed the add despite a second reader of its output", n)
+		}
+	}
+	if adds != 1 {
+		t.Fatalf("adds = %d, want 1 (unfused)", adds)
+	}
+}
+
+// TestFuseOpsKeepsExposedConv: a convolution that is itself a graph output
+// has an invisible extra reader — the caller — so its relu must not fuse
+// even though the consumer map shows exactly one consumer node.
+func TestFuseOpsKeepsExposedConv(t *testing.T) {
+	b := NewBuilder("exposed", 3)
+	x := b.Input(8, 16, 16)
+	c := b.Conv(x, 16, 3, 1, 1)
+	r := b.ReLU(c)
+	r = b.GlobalAvgPool(r)
+	r = b.Flatten(r)
+	g := b.Finish(b.Dense(r, 4), c)
+	if err := FuseOps(g); err != nil {
+		t.Fatal(err)
+	}
+	conv := g.Convs()[0]
+	if conv.FusedReLU {
+		t.Fatal("conv exposed as a graph output must keep its relu standalone: the caller observes the pre-activation value")
+	}
+}
+
+func TestLivenessIntervalsAndLevels(t *testing.T) {
+	g := tinyResNet()
+	if err := Optimize(g); err != nil {
+		t.Fatal(err)
+	}
+	order := g.Topo()
+	lv := AnalyzeLiveness(g, order)
+	// Every consumer edge must be inside the producer's live interval.
+	for i, n := range order {
+		for _, in := range n.Inputs {
+			if lv.LastUse[lv.Index[in]] < i {
+				t.Fatalf("%v reads %v after its last use", n, in)
+			}
+		}
+		start, end := lv.Interval(i)
+		if start != i || end < i {
+			t.Fatalf("interval of %v = [%d,%d], def at %d", n, start, end, i)
+		}
+	}
+	// Outputs are pinned to the end of the program.
+	for _, o := range g.Outputs {
+		oi := lv.Index[o]
+		if !lv.Pinned[oi] || lv.LastUse[oi] != len(order)-1 {
+			t.Fatalf("output %v not pinned (lastUse=%d)", o, lv.LastUse[oi])
+		}
+	}
+	// Levels: each node's inputs live at strictly smaller depths, and the
+	// level partition covers the program exactly once.
+	seen := 0
+	for d, level := range lv.Levels() {
+		for _, i := range level {
+			seen++
+			if lv.Depth[i] != d {
+				t.Fatalf("node %v at depth %d in level %d", order[i], lv.Depth[i], d)
+			}
+			for _, in := range order[i].Inputs {
+				if lv.Depth[lv.Index[in]] >= d {
+					t.Fatalf("%v depends on %v within or above its own level", order[i], in)
+				}
+			}
+		}
+	}
+	if seen != len(order) {
+		t.Fatalf("levels cover %d of %d nodes", seen, len(order))
+	}
+}
+
+func TestLivenessResolvesAliases(t *testing.T) {
+	// input -> conv -> dropout -> relu: the relu's read of the dropout must
+	// extend the conv's lifetime (dropout forwards the conv's buffer).
+	b := NewBuilder("alias", 3)
+	x := b.Input(4, 8, 8)
+	c := b.Conv(x, 8, 3, 1, 1)
+	d := b.Dropout(c)
+	r := b.ReLU(d)
+	r = b.GlobalAvgPool(r)
+	r = b.Flatten(r)
+	g := b.Finish(b.Dense(r, 2))
+	if err := InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	order := g.Topo()
+	lv := AnalyzeLiveness(g, order)
+	var conv, relu *Node
+	for _, n := range order {
+		switch n.Op {
+		case OpConv2D:
+			conv = n
+		case OpReLU:
+			relu = n
+		}
+	}
+	if lv.LastUse[lv.Index[conv]] < lv.Index[relu] {
+		t.Fatalf("conv's last use %d precedes the relu at %d reading it through the dropout alias",
+			lv.LastUse[lv.Index[conv]], lv.Index[relu])
+	}
+	found := false
+	for _, c := range lv.Consumers[conv] {
+		if c == relu {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("alias-resolved consumers must attribute the relu's read to the conv")
+	}
+}
+
 func TestUniformPlanClampsToDivisors(t *testing.T) {
 	b := NewBuilder("d", 5)
 	x := b.Input(3, 16, 16) // 3 input channels: block must divide 3

@@ -66,20 +66,35 @@ func FoldBatchNorms(g *Graph) error {
 // arithmetic intensity (Section 2.2): conv→relu, conv→add→relu and
 // conv→add patterns collapse into the convolution node. The residual operand
 // becomes the convolution's second input.
+//
+// A fusion is only legal when the absorbed operator is the convolution's sole
+// reader: the consumer count comes from a map recomputed at the top of every
+// outer iteration, and each iteration performs at most one mutation before
+// restarting (the `break` below), so the map is never consulted after an edge
+// rewrite invalidated it. Graph outputs are an extra, invisible reader — the
+// caller observes the pre-activation value — so an exposed convolution is
+// never fused even when it has exactly one consumer node.
 func FuseOps(g *Graph) error {
 	changed := true
 	for changed {
 		changed = false
 		cons := g.Consumers()
+		exposed := map[*Node]bool{}
+		for _, o := range g.Outputs {
+			exposed[o] = true
+		}
+		fusible := func(c *Node) bool {
+			return c.IsConv() && len(cons[c]) == 1 && !exposed[c]
+		}
 		dead := map[*Node]bool{}
 		for _, n := range g.Topo() {
 			switch n.Op {
 			case OpAdd:
 				// Fuse the add into whichever operand is a convolution whose
-				// only consumer is this add and which has no residual yet.
+				// only reader is this add and which has no residual yet.
 				var conv, other *Node
 				for i, c := range []*Node{n.Inputs[0], n.Inputs[1]} {
-					if c.IsConv() && len(cons[c]) == 1 && c.FusedResidual == nil && !c.FusedReLU {
+					if fusible(c) && c.FusedResidual == nil && !c.FusedReLU {
 						conv, other = c, n.Inputs[1-i]
 						break
 					}
@@ -94,7 +109,7 @@ func FuseOps(g *Graph) error {
 				changed = true
 			case OpReLU:
 				c := n.Inputs[0]
-				if c.IsConv() && len(cons[c]) == 1 && !c.FusedReLU {
+				if fusible(c) && !c.FusedReLU {
 					c.FusedReLU = true
 					g.replaceInput(n, c)
 					dead[n] = true
@@ -102,7 +117,9 @@ func FuseOps(g *Graph) error {
 				}
 			}
 			if changed {
-				break // consumer map is stale; restart the scan
+				// One mutation per consumer-map computation: restart so the
+				// next fusion decision sees fresh edges.
+				break
 			}
 		}
 		g.removeNodes(dead)

@@ -37,6 +37,26 @@ type SessionPool struct {
 	waits    atomic.Uint64
 }
 
+// defaultPoolSize derives the session-pool bound from the module's
+// compile-time execution plan: as many arenas as fit the byte budget,
+// clamped to [2, 16]. The memory planner's slot sharing is what makes this
+// meaningful — sessions are several-fold cheaper than one buffer per node,
+// so the same budget admits correspondingly more concurrent lanes.
+func defaultPoolSize(mod *core.Module, budget int) int {
+	per := mod.PlanStats().ArenaBytes
+	if per <= 0 {
+		return 2
+	}
+	n := budget / per
+	if n < 2 {
+		return 2
+	}
+	if n > 16 {
+		return 16
+	}
+	return n
+}
+
 // NewSessionPool creates a pool bounded at max sessions.
 func NewSessionPool(mod *core.Module, max int) (*SessionPool, error) {
 	if max <= 0 {

@@ -148,7 +148,7 @@ func TestBatcherClosedRejects(t *testing.T) {
 
 func TestConfigDefaultsAndValidation(t *testing.T) {
 	c := Config{}.withDefaults()
-	if c.PoolSize != 2 || c.MaxBatch != 8 || c.MaxLatency != 2*time.Millisecond || c.QueueDepth != 32 {
+	if c.PoolSize != 0 || c.MaxBatch != 8 || c.MaxLatency != 2*time.Millisecond || c.QueueDepth != 32 || c.ArenaBudget != 64<<20 {
 		t.Fatalf("defaults: %+v", c)
 	}
 	if c := (Config{MaxLatency: NoLatency}).withDefaults(); c.MaxLatency != 0 {
@@ -163,5 +163,32 @@ func TestConfigDefaultsAndValidation(t *testing.T) {
 		if _, err := New(mod, "", bad); err == nil {
 			t.Fatalf("config %+v must be rejected", bad)
 		}
+	}
+}
+
+// TestDefaultPoolSizeFromPlan: the auto pool bound follows the planned arena
+// footprint — budget/arena sessions, clamped to [2, 16].
+func TestDefaultPoolSizeFromPlan(t *testing.T) {
+	mod := testModule(t)
+	arena := mod.PlanStats().ArenaBytes
+	if arena <= 0 {
+		t.Fatal("module has no planned arena")
+	}
+	if got := defaultPoolSize(mod, 64<<20); got != 16 {
+		t.Fatalf("tiny arenas under a 64MiB budget must clamp to 16, got %d", got)
+	}
+	if got := defaultPoolSize(mod, arena*5); got != 5 {
+		t.Fatalf("budget of 5 arenas must size the pool at 5, got %d", got)
+	}
+	if got := defaultPoolSize(mod, 1); got != 2 {
+		t.Fatalf("a starvation budget must still allow 2 lanes, got %d", got)
+	}
+	s, err := New(mod, "", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if st := s.Stats(); st.Pool.MaxSize != 16 {
+		t.Fatalf("server with auto sizing: MaxSize = %d, want 16", st.Pool.MaxSize)
 	}
 }

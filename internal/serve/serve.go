@@ -15,10 +15,18 @@ import (
 // Config tunes the serving stack. The zero value of each field selects the
 // default noted on it.
 type Config struct {
-	// PoolSize bounds the session pool (default 2). Each session is one
-	// execution lane with its own arena; for throughput, compile the module
-	// with Threads=1/BackendSerial and size the pool to the core count.
+	// PoolSize bounds the session pool. Each session is one execution lane
+	// with its own arena; for throughput, compile the module with
+	// Threads=1/BackendSerial and size the pool to the core count. The
+	// default (0) derives the bound from the module's planned arena bytes:
+	// as many sessions as fit ArenaBudget, clamped to [2, 16]. Sessions are
+	// still created lazily, so a generous bound costs nothing until load
+	// actually needs it.
 	PoolSize int
+	// ArenaBudget caps the memory the default pool sizing spends on session
+	// arenas, in bytes (default 64 MiB). Ignored when PoolSize is set
+	// explicitly.
+	ArenaBudget int
 	// MaxBatch caps how many requests one dispatch coalesces (default 8).
 	MaxBatch int
 	// MaxLatency is the longest the batcher lingers for stragglers once a
@@ -34,10 +42,12 @@ type Config struct {
 // already queued.
 const NoLatency = time.Duration(-1)
 
-// withDefaults resolves zero fields; it does not validate (New does).
+// withDefaults resolves zero fields; it does not validate (New does), and it
+// leaves PoolSize 0 ("auto") for New to resolve against the module's planned
+// arena footprint.
 func (c Config) withDefaults() Config {
-	if c.PoolSize == 0 {
-		c.PoolSize = 2
+	if c.ArenaBudget == 0 {
+		c.ArenaBudget = 64 << 20
 	}
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 8
@@ -101,6 +111,9 @@ func New(mod *core.Module, model string, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: queue depth must be positive, got %d", cfg.QueueDepth)
 	}
 	cfg = cfg.withDefaults()
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = defaultPoolSize(mod, cfg.ArenaBudget)
+	}
 	pool, err := NewSessionPool(mod, cfg.PoolSize)
 	if err != nil {
 		return nil, err

@@ -57,6 +57,13 @@ type Engine struct {
 // Profile is the per-operator timing breakdown of one profiled inference.
 type Profile = core.Profile
 
+// PlanStats summarizes an engine's compile-time execution plan: how many
+// buffers the liveness-based memory planner packed into how many shared
+// arena slots (ArenaBytes vs the naive one-buffer-per-node
+// NaiveArenaBytes), and the level-synchronous schedule's shape (Levels,
+// InterOpLevels, MaxWidth).
+type PlanStats = core.PlanStats
+
 // SearchStats reports what the global optimization-scheme search did.
 type SearchStats struct {
 	// Algorithm is "dp" or "pbqp".
@@ -119,6 +126,7 @@ func compile(g *graph.Graph, cfg *config) (*Engine, error) {
 		Backend:         cfg.backend.machine(),
 		Int8:            cfg.int8,
 		DisableWinograd: cfg.noWinograd,
+		DisableInterOp:  cfg.noInterOp,
 		NoPrepack:       cfg.predictOnly,
 	}
 	if cfg.backend == BackendSerial {
@@ -182,6 +190,10 @@ func (e *Engine) NewSession() (*Session, error) {
 	}
 	return &Session{s: s}, nil
 }
+
+// PlanStats returns the engine's compile-time execution-plan summary. The
+// zero value is returned for predict-only engines, which carry no plan.
+func (e *Engine) PlanStats() PlanStats { return e.mod.PlanStats() }
 
 // PredictLatency returns the predicted end-to-end seconds for one inference
 // on the engine's (modeled) target hardware with its configured execution
@@ -272,11 +284,19 @@ type Session struct {
 
 // Run executes one inference. The returned tensors alias the session arena:
 // they are valid until the next Run/RunBatch on this session and must be
-// Clone()d to outlive it. Ctx is checked between graph nodes, so
-// cancellation takes effect mid-inference.
+// Clone()d to outlive it. Ctx is checked as execution proceeds through the
+// graph, so cancellation takes effect mid-inference.
 func (s *Session) Run(ctx context.Context, input *tensor.Tensor) ([]*tensor.Tensor, error) {
 	return s.s.Run(ctx, input)
 }
+
+// PlanStats returns the compile-time execution-plan summary this session
+// materializes: arena slot packing and the inter-op schedule.
+func (s *Session) PlanStats() PlanStats { return s.s.PlanStats() }
+
+// ArenaBytes reports the session's preallocated arena footprint — the
+// planned shared slots, each counted once.
+func (s *Session) ArenaBytes() int { return s.s.ArenaBytes() }
 
 // RunBatch executes one inference per input, amortizing dispatch setup. The
 // results are deep copies and remain valid indefinitely.

@@ -272,6 +272,74 @@ func TestWithWinogradThroughFacade(t *testing.T) {
 	}
 }
 
+// TestInterOpAndPlanStatsThroughFacade: WithInterOp reaches the execution
+// plan, PlanStats surfaces it, and enabling inter-op does not change results.
+func TestInterOpAndPlanStatsThroughFacade(t *testing.T) {
+	branchy := func(seed uint64) *graph.Graph {
+		b := graph.NewBuilder("branchy", seed)
+		x := b.Input(3, 32, 32)
+		x = b.ConvBNReLU(x, 16, 3, 1, 1)
+		// Two balanced towers: the compile-time policy only picks inter-op
+		// for levels whose nodes carry comparable work.
+		b1 := b.ConvBNReLU(x, 16, 3, 1, 1)
+		b3 := b.ConvBNReLU(x, 16, 3, 1, 1)
+		x = b.Concat(b1, b3)
+		x = b.GlobalAvgPool(x)
+		x = b.Flatten(x)
+		x = b.Dense(x, 10)
+		return b.Finish(b.Softmax(x))
+	}
+	opts := []Option{WithOptLevel(LevelTransformElim), WithThreads(2)}
+	on, err := CompileGraph(branchy(3), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	off, err := CompileGraph(branchy(3), append(opts, WithInterOp(false))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+
+	if st := on.PlanStats(); st.InterOpLevels == 0 || st.MaxWidth < 2 {
+		t.Fatalf("inter-op engine must plan concurrent levels, got %+v", st)
+	}
+	if st := off.PlanStats(); st.InterOpLevels != 0 {
+		t.Fatalf("WithInterOp(false) must disable inter-op levels, got %+v", st)
+	}
+	if st := on.PlanStats(); st.ArenaBytes <= 0 || st.ArenaBytes > st.NaiveArenaBytes {
+		t.Fatalf("implausible plan stats %+v", st)
+	}
+
+	sOn, err := on.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOff, err := off.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sOn.PlanStats() != on.PlanStats() {
+		t.Fatal("session and engine must report the same plan")
+	}
+	if sOn.ArenaBytes() != on.PlanStats().ArenaBytes {
+		t.Fatal("session arena must match the planned footprint")
+	}
+	in := on.NewInput()
+	in.FillRandom(9, 1)
+	a, err := sOn.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sOff.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(a[0], b[0]) != 0 {
+		t.Fatal("inter-op execution must be bit-identical to sequential")
+	}
+}
+
 func TestRegistryCompileExecutes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("compiles and runs a full ResNet-18 on the host")

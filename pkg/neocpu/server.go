@@ -39,11 +39,13 @@ type serveConfig struct {
 	err error
 }
 
-// WithPoolSize bounds the session pool (default 2). Sessions are created
-// lazily up to the bound and recycled across requests; each is one
-// execution lane with its own preallocated arena. For throughput, compile
-// the engine with WithThreads(1) and WithBackend(BackendSerial), and size
-// the pool to the machine's core count.
+// WithPoolSize bounds the session pool. Sessions are created lazily up to
+// the bound and recycled across requests; each is one execution lane with
+// its own preallocated arena. When the option is omitted the bound derives
+// from the engine's planned arena bytes: as many session arenas as fit a
+// 64 MiB budget, clamped to [2, 16]. For throughput, compile the engine with
+// WithThreads(1) and WithBackend(BackendSerial), and size the pool to the
+// machine's core count.
 func WithPoolSize(n int) ServeOption {
 	return func(c *serveConfig) {
 		if n <= 0 {
