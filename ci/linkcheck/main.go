@@ -1,0 +1,113 @@
+// Command linkcheck validates the relative links in markdown files: every
+// `[text](target)` whose target is not an external URL or a pure anchor must
+// resolve to an existing file or directory relative to the markdown file.
+// Wired into CI over README.md and the docs/ tree so documentation
+// restructures can never leave dangling links.
+//
+// Usage:
+//
+//	go run ./ci/linkcheck <file-or-dir> [<file-or-dir>...]
+//
+// Directories are walked recursively for *.md files. Exits non-zero listing
+// every broken link.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links; images share the syntax and are
+// checked the same way.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file-or-dir> [<file-or-dir>...]")
+		os.Exit(2)
+	}
+	var mdFiles []string
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		if !info.IsDir() {
+			mdFiles = append(mdFiles, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				mdFiles = append(mdFiles, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+	}
+
+	broken := 0
+	checked := 0
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		inFence := false
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			// Fenced code blocks may legitimately contain link-shaped text
+			// (example snippets, slice expressions); skip them entirely.
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skip(target) {
+					continue
+				}
+				// Drop a #fragment; the file part is what must exist.
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+					if target == "" {
+						continue
+					}
+				}
+				checked++
+				resolved := filepath.Join(filepath.Dir(md), target)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Fprintf(os.Stderr, "%s:%d: broken link %q (resolved %s)\n", md, lineNo+1, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s), %d relative link(s) ok\n", len(mdFiles), checked)
+}
+
+// skip reports whether a link target is out of scope: external URLs, mail
+// links, and in-page anchors.
+func skip(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

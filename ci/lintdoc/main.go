@@ -1,0 +1,138 @@
+// Command lintdoc enforces the godoc contract on a package: every exported
+// top-level declaration (functions, methods, types, and each name in exported
+// var/const groups) must carry a doc comment. It is the repository's
+// equivalent of revive's `exported` rule, with no dependency outside the
+// standard library, wired into CI for pkg/neocpu so the public API can never
+// grow undocumented symbols.
+//
+// Usage:
+//
+//	go run ./ci/lintdoc <package-dir> [<package-dir>...]
+//
+// Exits non-zero listing every undocumented exported symbol.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lintdoc <package-dir> [<package-dir>...]")
+		os.Exit(2)
+	}
+	var failures []string
+	for _, dir := range os.Args[1:] {
+		fails, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintdoc:", err)
+			os.Exit(2)
+		}
+		failures = append(failures, fails...)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		fmt.Fprintf(os.Stderr, "lintdoc: %d exported symbol(s) missing doc comments\n", len(failures))
+		os.Exit(1)
+	}
+	fmt.Println("lintdoc: all exported symbols documented")
+}
+
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", dir, err)
+	}
+	var failures []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		failures = append(failures, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !exportedRecv(d) {
+						continue
+					}
+					if d.Doc == nil {
+						report(d.Pos(), funcKind(d), d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return failures, nil
+}
+
+// exportedRecv reports whether a method's receiver type is exported (plain
+// functions count as exported receivers).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// lintGenDecl checks type/var/const declarations. A doc comment on the decl
+// group covers a single-spec declaration; within grouped specs each exported
+// name needs its own comment (doc or trailing line comment — the idiom for
+// enum-style const blocks).
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	kind := d.Tok.String()
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil && s.Doc == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				// Covered by: the group comment (ungrouped decl), the spec's
+				// own doc, or a trailing comment.
+				if (len(d.Specs) == 1 && d.Doc != nil) || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				report(name.Pos(), kind, name.Name)
+			}
+		}
+	}
+}

@@ -23,7 +23,8 @@ import (
 const arenaGuardSlack = 0.10
 
 // arenaGuardModels is the guarded set: a residual chain, a branch-and-concat
-// graph and a dense fan-in — the three reuse patterns the planner exploits.
+// graph, a dense fan-in and a depthwise-separable chain — the reuse patterns
+// the planner exploits.
 var arenaGuardModels = []struct {
 	name string
 	mk   func(uint64) *graph.Graph
@@ -31,6 +32,7 @@ var arenaGuardModels = []struct {
 	{"tiny-resnet", models.TinyResNet},
 	{"tiny-inception", models.TinyInception},
 	{"tiny-densenet", models.TinyDenseNet},
+	{"tiny-mobilenet", models.TinyMobileNet},
 }
 
 // arenaGuardCompile pins the guard configuration: the full search pipeline

@@ -85,7 +85,9 @@ func writeBenchJSON(dir string) error {
 			CPU:           t.CPU,
 			Measured:      measured,
 		}
-		for _, name := range models.Names() {
+		// The paper's 15 models plus the post-paper extensions (mobilenet-v1:
+		// the depthwise-separable scenario).
+		for _, name := range models.ExtendedNames() {
 			spec, err := models.Get(name)
 			if err != nil {
 				return err
@@ -208,6 +210,25 @@ func measureHostKernels() ([]benchEntry, error) {
 		}
 		return nil
 	}
+	depthwiseGuard := func(m *core.Module) error {
+		// The entry name promises the depthwise kernel was measured: every
+		// depthwise conv must carry a shared-block NCHWc schedule.
+		dw := 0
+		for _, n := range m.Graph.Convs() {
+			wl := graph.ConvWorkload(n)
+			if !wl.Depthwise() {
+				continue
+			}
+			dw++
+			if n.Sched.Layout.Kind != tensor.LayoutNCHWc || n.Sched.ICBlock != n.Sched.OCBlock {
+				return fmt.Errorf("depthwise conv %v scheduled as %v, want shared-block NCHWc", n, n.Sched)
+			}
+		}
+		if dw == 0 {
+			return fmt.Errorf("no depthwise convolutions in the compiled graph")
+		}
+		return nil
+	}
 	serial := core.Options{Level: core.OptGlobalSearch, Threads: 1, Backend: machine.BackendSerial}
 	serialNoWino := serial
 	serialNoWino.DisableWinograd = true
@@ -228,6 +249,7 @@ func measureHostKernels() ([]benchEntry, error) {
 		{"session-run/tiny-resnet-winograd", models.TinyResNet, serial, winogradGuard(true)},
 		{"session-run/tiny-inception-seq", models.TinyInception, pool4Seq, nil},
 		{"session-run/tiny-inception-interop", models.TinyInception, pool4, interOpGuard},
+		{"session-run/tiny-mobilenet", models.TinyMobileNet, serial, depthwiseGuard},
 	} {
 		m, err := core.Compile(cfg.model(1), machine.IntelSkylakeC5(), cfg.opts)
 		if err != nil {

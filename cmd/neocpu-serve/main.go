@@ -18,9 +18,9 @@
 // batch) so the pool scales throughput across cores; pass -threads N > 1 to
 // instead parallelize each single inference over the shared kernel pool.
 //
-// Besides the paper's registry models, the tiny-* test models (tiny-cnn,
-// tiny-resnet, tiny-densenet, tiny-inception, tiny-ssd, tiny-vgg) are
-// accepted for fast smoke tests.
+// Besides the registry models (the paper's 15 plus mobilenet-v1), the tiny-*
+// test models (tiny-cnn, tiny-resnet, tiny-densenet, tiny-inception,
+// tiny-mobilenet, tiny-ssd, tiny-vgg) are accepted for fast smoke tests.
 package main
 
 import (
@@ -43,12 +43,13 @@ var tinyBuilders = map[string]func(uint64) *graph.Graph{
 	"tiny-resnet":    models.TinyResNet,
 	"tiny-densenet":  models.TinyDenseNet,
 	"tiny-inception": models.TinyInception,
+	"tiny-mobilenet": models.TinyMobileNet,
 	"tiny-ssd":       models.TinySSD,
 	"tiny-vgg":       models.TinyVGG,
 }
 
 func main() {
-	model := flag.String("model", "resnet-18", "model name (paper registry, or tiny-cnn/tiny-resnet/tiny-densenet/tiny-inception/tiny-ssd/tiny-vgg)")
+	model := flag.String("model", "resnet-18", "model name (registry incl. mobilenet-v1, or tiny-cnn/tiny-resnet/tiny-densenet/tiny-inception/tiny-mobilenet/tiny-ssd/tiny-vgg)")
 	addr := flag.String("addr", ":8000", "listen address")
 	levelName := flag.String("level", "global-search", "baseline-nchw|layout-opt|transform-elim|global-search")
 	threads := flag.Int("threads", 1, "kernel threads per inference (1 = serial sessions, pool scales across cores)")

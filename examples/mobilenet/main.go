@@ -1,0 +1,71 @@
+// MobileNet demo: the depthwise-separable scenario end to end. Compiles the
+// full MobileNet-V1 in predict-only mode to report what the global search
+// chose for its 13 depthwise layers and the predicted latency on the modeled
+// target, then really executes TinyMobileNet (the same structural pattern at
+// test size) through a session.
+//
+//	go run ./examples/mobilenet
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/pkg/neocpu"
+)
+
+func main() {
+	// 1. Full-size MobileNet-V1 through the global search, predict-only (no
+	//    weight materialization): report the per-layer depthwise schemes.
+	engine, err := neocpu.Compile("mobilenet-v1",
+		neocpu.WithTarget("intel-skylake"),
+		neocpu.WithOptLevel(neocpu.LevelGlobalSearch),
+		neocpu.WithPredictOnly(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mobilenet-v1 depthwise schedules (global search):")
+	for _, n := range engine.Graph().Convs() {
+		wl := graph.ConvWorkload(n)
+		if !wl.Depthwise() {
+			continue
+		}
+		fmt.Printf("  %-10s %3dx%-3d c=%-4d stride=%d  -> %v\n",
+			n.Name, wl.InH, wl.InW, wl.InC, wl.StrideH, n.Sched)
+	}
+	fmt.Printf("predicted latency on intel-skylake: %.2f ms\n\n", engine.PredictLatency()*1000)
+
+	// 2. TinyMobileNet for real: compile, run, print the top class.
+	tiny, err := neocpu.CompileGraph(models.TinyMobileNet(42),
+		neocpu.WithTarget("intel-skylake"),
+		neocpu.WithOptLevel(neocpu.LevelGlobalSearch),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tiny.Close()
+	sess, err := tiny.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	img := tiny.NewInput()
+	img.FillRandom(7, 1)
+	outs, err := sess.Run(context.Background(), img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probs := outs[0].Data
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	st := tiny.PlanStats()
+	fmt.Printf("tiny-mobilenet: class %d (p=%.3f), arena %d KiB (%d slots for %d values)\n",
+		best, probs[best], st.ArenaBytes/1024, st.Slots, st.Values)
+}

@@ -254,19 +254,27 @@ func finalizeModule(g *graph.Graph, t *machine.Target, level OptLevel, searchOut
 			if n.Sched.Layout.Kind != tensor.LayoutNCHWc {
 				continue
 			}
+			// Depthwise weights are logically (C, 1, KH, KW): their packed
+			// form splits only the output channels, so the input-channel
+			// block of the packing is 1 regardless of the schedule's shared
+			// activation block (see ops.Conv2DDepthwiseNCHWc).
+			wIC := n.Sched.ICBlock
+			if graph.ConvWorkload(n).Depthwise() {
+				wIC = 1
+			}
 			switch {
 			case opts.Int8:
 				if n.Sched.Algorithm == machine.AlgoWinograd {
 					return nil, fmt.Errorf("core: %v is scheduled as winograd but the module is int8 (no quantized winograd kernel); compile with DisableWinograd or a direct plan", n)
 				}
 				qw := quant.QuantizeWeightsPerChannel(n.Weight)
-				m.qpacked[n] = quant.PackWeightsOIHWio(qw, n.Sched.ICBlock, n.Sched.OCBlock)
+				m.qpacked[n] = quant.PackWeightsOIHWio(qw, wIC, n.Sched.OCBlock)
 			case n.Sched.Algorithm == machine.AlgoWinograd:
 				// U = G g Gᵀ, packed for the blocked kernel — the winograd
 				// analog of the compile-time weight pre-packing.
 				m.packed[n] = ops.WinogradWeightTransformNCHWc(n.Weight, n.Sched.ICBlock, n.Sched.OCBlock)
 			default:
-				m.packed[n] = tensor.PackWeights(n.Weight, n.Sched.ICBlock, n.Sched.OCBlock)
+				m.packed[n] = tensor.PackWeights(n.Weight, wIC, n.Sched.OCBlock)
 			}
 		}
 	}

@@ -202,17 +202,26 @@ func (m *Module) exec(n *graph.Node, vals []*tensor.Tensor, input *tensor.Tensor
 		}
 		switch n.Sched.Layout.Kind {
 		case tensor.LayoutNCHWc:
+			depthwise := n.Conv.Depthwise(n.Inputs[0].OutShape.Dims[1])
 			if m.Int8 {
 				// Dynamic activation quantization: symmetric per-tensor
 				// scale from this activation's max-abs, then the int32-
 				// accumulating blocked kernel with fused rescale.
 				qin := quant.Quantize(arg(0))
+				if depthwise {
+					return quant.Conv2DInt8DepthwiseNCHWcInto(buf.outT(), qin, m.qpacked[n], n.Conv,
+						n.Sched.OCBlock, n.Sched.RegN, epi, pf), nil
+				}
 				return quant.Conv2DInt8NCHWcInto(buf.outT(), qin, m.qpacked[n], n.Conv,
 					n.Sched.ICBlock, n.Sched.OCBlock, n.Sched.RegN, epi, pf), nil
 			}
 			if n.Sched.Algorithm == machine.AlgoWinograd {
 				return ops.Conv2DWinogradNCHWcInto(buf.outT(), buf.winoT(), arg(0), m.packed[n], n.Conv,
 					n.Sched.ICBlock, n.Sched.OCBlock, epi, pf), nil
+			}
+			if depthwise {
+				return ops.Conv2DDepthwiseNCHWcInto(buf.outT(), buf.padT(), arg(0), m.packed[n], n.Conv,
+					n.Sched.OCBlock, n.Sched.RegN, n.Sched.UnrollKer, epi, pf), nil
 			}
 			return ops.Conv2DNCHWcInto(buf.outT(), buf.padT(), arg(0), m.packed[n], n.Conv,
 				n.Sched.ICBlock, n.Sched.OCBlock, n.Sched.RegN, n.Sched.UnrollKer, epi, pf), nil

@@ -134,13 +134,12 @@ func (pf *PlanFile) Apply(g *graph.Graph) (graph.LayoutPlan, error) {
 				Algorithm: algo,
 			}
 			wl := graph.ConvWorkload(n)
-			if e.ICBlock <= 0 || wl.InC%e.ICBlock != 0 || e.OCBlock <= 0 || wl.OutC%e.OCBlock != 0 {
-				return nil, fmt.Errorf("%w: entry %q blocks (%d,%d) do not divide channels (%d,%d)",
-					ErrInvalidPlan, e.Conv, e.ICBlock, e.OCBlock, wl.InC, wl.OutC)
+			if err := wl.ValidateBlocks(s); err != nil {
+				return nil, fmt.Errorf("%w: entry %q: %v", ErrInvalidPlan, e.Conv, err)
 			}
 			if algo == machine.AlgoWinograd && !wl.WinogradViable() {
-				return nil, fmt.Errorf("%w: entry %q schedules winograd for a %dx%d stride-%dx%d convolution (3x3 stride-1 only)",
-					ErrInvalidPlan, e.Conv, wl.KH, wl.KW, wl.StrideH, wl.StrideW)
+				return nil, fmt.Errorf("%w: entry %q schedules winograd for a %dx%d stride-%dx%d convolution with %d group(s) (dense 3x3 stride-1 only)",
+					ErrInvalidPlan, e.Conv, wl.KH, wl.KW, wl.StrideH, wl.StrideW, wl.GroupCount())
 			}
 		case "nhwc", "nchw":
 			if algo == machine.AlgoWinograd {

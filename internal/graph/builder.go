@@ -78,18 +78,62 @@ func (b *Builder) Conv(x *Node, outC, k, stride, pad int) *Node {
 
 // ConvRect adds a convolution with full geometry control.
 func (b *Builder) ConvRect(x *Node, outC, kh, kw, sh, sw, ph, pw int) *Node {
+	return b.convGrouped(x, outC, kh, kw, sh, sw, ph, pw, 1)
+}
+
+// GroupedConv adds a grouped convolution with a square k×k kernel: the input
+// channels split into `groups` disjoint sets and each output channel reduces
+// over only its group's inputs (AlexNet/ResNeXt-style). groups must divide
+// both the input and output channel counts.
+func (b *Builder) GroupedConv(x *Node, outC, k, stride, pad, groups int) *Node {
+	return b.convGrouped(x, outC, k, k, stride, stride, pad, pad, groups)
+}
+
+// DepthwiseConv adds a depthwise convolution with a square k×k kernel: one
+// group per input channel with channel multiplier 1, the spatial half of a
+// MobileNet depthwise-separable block.
+func (b *Builder) DepthwiseConv(x *Node, k, stride, pad int) *Node {
+	c := x.OutShape.Dims[1]
+	return b.convGrouped(x, c, k, k, stride, stride, pad, pad, c)
+}
+
+// DepthwiseSeparable is the MobileNet v1 building block: depthwise 3x3 (with
+// BN+ReLU) followed by a pointwise 1x1 convolution (with BN+ReLU) that mixes
+// channels to outC.
+func (b *Builder) DepthwiseSeparable(x *Node, outC, stride int) *Node {
+	x = b.ReLU(b.BatchNorm(b.DepthwiseConv(x, 3, stride, 1)))
+	return b.ConvBNReLU(x, outC, 1, 1, 0)
+}
+
+func (b *Builder) convGrouped(x *Node, outC, kh, kw, sh, sw, ph, pw, groups int) *Node {
 	inC := x.OutShape.Dims[1]
+	if groups < 1 {
+		groups = 1
+	}
+	if inC%groups != 0 || outC%groups != 0 {
+		panic(fmt.Sprintf("graph builder: groups %d must divide in channels %d and out channels %d", groups, inC, outC))
+	}
+	icPerG := inC / groups
 	var w *tensor.Tensor
 	if b.ShapeOnlyParams {
-		w = &tensor.Tensor{Shape: []int{outC, inC, kh, kw}, Layout: tensor.OIHW()}
+		w = &tensor.Tensor{Shape: []int{outC, icPerG, kh, kw}, Layout: tensor.OIHW()}
 	} else {
-		w = tensor.New(tensor.OIHW(), outC, inC, kh, kw)
+		w = tensor.New(tensor.OIHW(), outC, icPerG, kh, kw)
 		// He-style scale keeps activations bounded through deep nets.
-		w.FillRandom(b.nextSeed(), float32(1.0/float64(inC*kh*kw)))
+		w.FillRandom(b.nextSeed(), float32(1.0/float64(icPerG*kh*kw)))
+	}
+	name := "conv"
+	attrGroups := 0 // dense convolutions keep the zero value
+	if groups > 1 {
+		attrGroups = groups
+		name = "gconv"
+		if groups == inC && outC == inC {
+			name = "dwconv"
+		}
 	}
 	n := &Node{
-		Name: b.fresh("conv"), Op: OpConv2D, Inputs: []*Node{x},
-		Conv:   ops.Conv2DAttrs{OutC: outC, KH: kh, KW: kw, StrideH: sh, StrideW: sw, PadH: ph, PadW: pw},
+		Name: b.fresh(name), Op: OpConv2D, Inputs: []*Node{x},
+		Conv:   ops.Conv2DAttrs{OutC: outC, KH: kh, KW: kw, StrideH: sh, StrideW: sw, PadH: ph, PadW: pw, Groups: attrGroups},
 		Weight: w,
 	}
 	return b.add(n)

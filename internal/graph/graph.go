@@ -168,6 +168,7 @@ func ConvWorkload(n *Node) machine.ConvWorkload {
 		OutC: n.Conv.OutC, KH: n.Conv.KH, KW: n.Conv.KW,
 		StrideH: n.Conv.StrideH, StrideW: n.Conv.StrideW,
 		PadH: n.Conv.PadH, PadW: n.Conv.PadW,
+		Groups: n.Conv.Groups,
 	}
 }
 

@@ -37,13 +37,22 @@ func NHWCPlan(g *Graph) LayoutPlan {
 
 // UniformPlan schedules every convolution in NCHW[x]c with one shared split
 // factor (Section 3.2: "we make x a constant number across all CONVs"),
-// clamping the block to each workload's channel divisors.
+// clamping the block to each workload's channel divisors. Grouped
+// convolutions clamp to per-group divisors so blocks never straddle a group;
+// depthwise convolutions share one block for input and output (lane v of a
+// channel block maps straight to lane v).
 func UniformPlan(g *Graph, x, regN int, unroll bool) LayoutPlan {
 	p := LayoutPlan{}
 	for _, n := range g.Convs() {
 		wl := ConvWorkload(n)
-		icb := largestDivisorAtMost(wl.InC, x)
-		ocb := largestDivisorAtMost(wl.OutC, x)
+		var icb, ocb int
+		if wl.Depthwise() {
+			icb = largestDivisorAtMost(wl.InC, x)
+			ocb = icb
+		} else {
+			icb = largestDivisorAtMost(wl.InC/wl.GroupCount(), x)
+			ocb = largestDivisorAtMost(wl.OutC/wl.GroupCount(), x)
+		}
 		p[n] = machine.ConvSchedule{
 			Layout:  tensor.NCHWc(icb),
 			ICBlock: icb, OCBlock: ocb,
@@ -122,9 +131,9 @@ func AlterOpLayout(g *Graph, plan LayoutPlan, eliminate bool) error {
 			}
 			if sched.Algorithm == machine.AlgoWinograd {
 				// The Winograd kernel exists only for the blocked layout and
-				// only computes 3x3 stride-1 convolutions; a plan that says
-				// otherwise is wrong and must fail at compile time, not read
-				// garbage at inference.
+				// only computes 3x3 stride-1 dense convolutions; a plan that
+				// says otherwise is wrong and must fail at compile time, not
+				// read garbage at inference.
 				if sched.Layout.Kind != tensor.LayoutNCHWc {
 					return fmt.Errorf("graph %q: %v: winograd schedules require the NCHW[x]c layout, got %v",
 						g.Name, n, sched.Layout)
@@ -132,6 +141,19 @@ func AlterOpLayout(g *Graph, plan LayoutPlan, eliminate bool) error {
 				if !machine.WinogradSupported(n.Conv.KH, n.Conv.KW, n.Conv.StrideH, n.Conv.StrideW) {
 					return fmt.Errorf("graph %q: %v: winograd requires a 3x3 stride-1 convolution, got %dx%d stride %dx%d",
 						g.Name, n, n.Conv.KH, n.Conv.KW, n.Conv.StrideH, n.Conv.StrideW)
+				}
+				if n.Conv.GroupCount() > 1 {
+					return fmt.Errorf("graph %q: %v: winograd schedules do not support grouped convolutions (%d groups)",
+						g.Name, n, n.Conv.GroupCount())
+				}
+			}
+			if sched.Layout.Kind == tensor.LayoutNCHWc {
+				// Channel blocks must fit the workload's grouping (shared
+				// block for depthwise, per-group divisors otherwise) — the
+				// same predicate plan loading applies, so a hand-written or
+				// deserialized plan fails at compile time, never in a kernel.
+				if err := ConvWorkload(n).ValidateBlocks(sched); err != nil {
+					return fmt.Errorf("graph %q: %v: %w", g.Name, n, err)
 				}
 			}
 			n.Sched = sched

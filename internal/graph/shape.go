@@ -31,8 +31,12 @@ func inferNode(n *Node) (Shape, error) {
 		if n.Weight == nil {
 			return Shape{}, fmt.Errorf("conv without weight")
 		}
-		if n.Weight.Shape[1] != s.Dims[1] {
-			return Shape{}, fmt.Errorf("conv weight in-channels %d != input channels %d", n.Weight.Shape[1], s.Dims[1])
+		groups := n.Conv.GroupCount()
+		if s.Dims[1]%groups != 0 || n.Conv.OutC%groups != 0 {
+			return Shape{}, fmt.Errorf("conv groups %d must divide input channels %d and output channels %d", groups, s.Dims[1], n.Conv.OutC)
+		}
+		if n.Weight.Shape[1] != s.Dims[1]/groups {
+			return Shape{}, fmt.Errorf("conv weight in-channels %d != input channels %d / %d groups", n.Weight.Shape[1], s.Dims[1], groups)
 		}
 		oh, ow := n.Conv.OutSize(s.Dims[2], s.Dims[3])
 		if oh <= 0 || ow <= 0 {

@@ -14,6 +14,25 @@ type ConvWorkload struct {
 	OutC, KH, KW     int // kernels
 	StrideH, StrideW int
 	PadH, PadW       int
+	// Groups partitions the channels (0 or 1 = dense; InC = depthwise). Each
+	// output channel reduces over InC/Groups inputs, so FLOPs and weight
+	// bytes shrink by the group count.
+	Groups int
+}
+
+// GroupCount normalizes the Groups field: the zero value means one dense
+// group.
+func (w ConvWorkload) GroupCount() int {
+	if w.Groups <= 1 {
+		return 1
+	}
+	return w.Groups
+}
+
+// Depthwise reports whether the workload is a depthwise convolution: one
+// group per input channel, channel multiplier 1.
+func (w ConvWorkload) Depthwise() bool {
+	return w.GroupCount() > 1 && w.Groups == w.InC && w.OutC == w.InC
 }
 
 // OutH returns the output feature-map height.
@@ -26,22 +45,53 @@ func (w ConvWorkload) OutW() int { return (w.InW+2*w.PadW-w.KW)/w.StrideW + 1 }
 // separately) of a direct convolution.
 func (w ConvWorkload) FLOPs() float64 {
 	return 2 * float64(w.OutH()) * float64(w.OutW()) * float64(w.OutC) *
-		float64(w.InC) * float64(w.KH) * float64(w.KW)
+		float64(w.InC/w.GroupCount()) * float64(w.KH) * float64(w.KW)
 }
 
 // Bytes returns the minimum bytes touched: input + weights + output, fp32.
 func (w ConvWorkload) Bytes() float64 {
 	in := float64(w.InC * w.InH * w.InW * 4)
-	wt := float64(w.OutC * w.InC * w.KH * w.KW * 4)
+	wt := float64(w.OutC * (w.InC / w.GroupCount()) * w.KH * w.KW * 4)
 	out := float64(w.OutC*w.OutH()*w.OutW()) * 4
 	return in + wt + out
 }
 
 // Key returns the database key for this workload (Section 3.3.1: "defined by
-// the feature map and convolution kernel sizes").
+// the feature map and convolution kernel sizes"). Dense workloads keep their
+// pre-groups key so existing schedule databases stay valid.
 func (w ConvWorkload) Key() string {
-	return fmt.Sprintf("c%dx%dx%d-k%dx%dx%d-s%dx%d-p%dx%d",
+	k := fmt.Sprintf("c%dx%dx%d-k%dx%dx%d-s%dx%d-p%dx%d",
 		w.InC, w.InH, w.InW, w.OutC, w.KH, w.KW, w.StrideH, w.StrideW, w.PadH, w.PadW)
+	if g := w.GroupCount(); g > 1 {
+		k += fmt.Sprintf("-g%d", g)
+	}
+	return k
+}
+
+// ValidateBlocks checks a blocked (NCHW[x]c) schedule's channel-block pair
+// against this workload's grouping — the single source of truth shared by
+// AlterOpLayout (compile-time scheme validation) and plan loading:
+//
+//   - depthwise: one shared block on both sides (output lane v of a channel
+//     block reads input lane v of the same block), dividing the channel count;
+//   - grouped and dense (one group): ic_bn divides in_channels/groups and
+//     oc_bn divides out_channels/groups, so blocks never straddle a group.
+func (w ConvWorkload) ValidateBlocks(s ConvSchedule) error {
+	if w.Depthwise() {
+		if s.ICBlock != s.OCBlock {
+			return fmt.Errorf("depthwise schedules require ic_bn == oc_bn, got (%d,%d)", s.ICBlock, s.OCBlock)
+		}
+		if s.ICBlock <= 0 || w.InC%s.ICBlock != 0 {
+			return fmt.Errorf("depthwise block %d does not divide channels %d", s.ICBlock, w.InC)
+		}
+		return nil
+	}
+	g := w.GroupCount()
+	if s.ICBlock <= 0 || (w.InC/g)%s.ICBlock != 0 || s.OCBlock <= 0 || (w.OutC/g)%s.OCBlock != 0 {
+		return fmt.Errorf("blocks (%d,%d) do not divide per-group channels (%d,%d)",
+			s.ICBlock, s.OCBlock, w.InC/g, w.OutC/g)
+	}
+	return nil
 }
 
 // ConvAlgorithm selects the convolution computation algorithm of a schedule.
@@ -74,10 +124,14 @@ func WinogradSupported(kh, kw, strideH, strideW int) bool {
 }
 
 // WinogradViable reports whether the Winograd algorithm applies to this
-// workload. The search only emits winograd candidates for viable workloads,
-// and plan loading rejects winograd entries on non-viable convolutions.
+// workload: 3x3 stride-1 dense convolutions only. Grouped and depthwise
+// convolutions are excluded — the F(2,3) kernel reduces over all input
+// channels, and a per-group transform domain would forfeit the amortization
+// the algorithm's saving depends on. The search only emits winograd
+// candidates for viable workloads, and plan loading rejects winograd entries
+// on non-viable convolutions.
 func (w ConvWorkload) WinogradViable() bool {
-	return WinogradSupported(w.KH, w.KW, w.StrideH, w.StrideW)
+	return WinogradSupported(w.KH, w.KW, w.StrideH, w.StrideW) && w.GroupCount() == 1
 }
 
 // ConvSchedule is the optimization-scheme tuple of Section 3.3:
@@ -151,6 +205,16 @@ const (
 	// algorithm cannot compute (non-3x3 or strided): large enough that no
 	// search keeps it, finite so solver arithmetic never produces NaN.
 	winogradInvalidSeconds = 1e6
+
+	// peakFractionDepthwise is the peak fraction of the depthwise template:
+	// every lane-wise FMA consumes a fresh input vector — there is no channel
+	// reduction to amortize loads over, so the kernel is load-port bound well
+	// below the dense template's ceiling.
+	peakFractionDepthwise = 0.34
+	// groupedFragFactor penalizes grouped (1 < g < C) convolutions relative
+	// to dense: per-group weight slabs fragment the streaming pattern and
+	// shrink the reduction the register tile amortizes over.
+	groupedFragFactor = 0.92
 )
 
 // RegionOverhead returns the fork-join cost in seconds of launching one
@@ -235,7 +299,13 @@ func (t *Target) ConvEfficiency(wl ConvWorkload, s ConvSchedule) float64 {
 		if s.Algorithm == AlgoWinograd {
 			return t.winogradEfficiency(wl, s)
 		}
-		// fall through to the blocked direct model below
+		if wl.Depthwise() {
+			return t.depthwiseEfficiency(wl, s)
+		}
+		// Grouped (and dense) convolutions use the blocked direct model
+		// below: ic_bn is the per-group block, so the working-set and
+		// lane-utilization terms carry over; only the fragmentation factor
+		// differs.
 	default:
 		return peakFractionDirect * layoutFactorNCHW
 	}
@@ -310,7 +380,67 @@ func (t *Target) ConvEfficiency(wl ConvWorkload, s ConvSchedule) float64 {
 		}
 	}
 
-	return peakFractionDirect * laneUtil * latHide * pressure * tail * cacheF * chanF * unrollF
+	groupF := 1.0
+	if wl.GroupCount() > 1 {
+		groupF = groupedFragFactor
+	}
+
+	return peakFractionDirect * laneUtil * latHide * pressure * tail * cacheF * chanF * unrollF * groupF
+}
+
+// depthwiseEfficiency is the blocked-schedule quality model for the depthwise
+// template: the schedule knobs are the shared channel block (ic_bn == oc_bn),
+// reg_n and unroll_ker, but there is no input-channel reduction — each
+// lane-wise FMA loads its own input vector, so the ceiling sits at
+// peakFractionDepthwise and the cache term covers only the tiny per-channel
+// kernel slab plus the register tile.
+func (t *Target) depthwiseEfficiency(wl ConvWorkload, s ConvSchedule) float64 {
+	lanes := t.VectorLanes
+	var laneUtil float64
+	switch {
+	case s.OCBlock%lanes == 0:
+		laneUtil = 1
+	case s.OCBlock > lanes:
+		full := s.OCBlock / lanes
+		laneUtil = float64(s.OCBlock) / float64((full+1)*lanes)
+	default:
+		laneUtil = float64(s.OCBlock) / float64(lanes)
+	}
+
+	need := t.FMALatency * t.FMAPerCycle
+	latHide := float64(s.RegN) / float64(need)
+	if latHide > 1 {
+		latHide = 1
+	}
+	if latHide < 0.2 {
+		latHide = 0.2
+	}
+
+	pressure := 1.0
+	if s.RegN+2 > t.NumVecRegs {
+		pressure = spillPenalty
+	}
+
+	ow := wl.OutW()
+	tiles := (ow + s.RegN - 1) / s.RegN
+	tail := float64(ow) / float64(tiles*s.RegN)
+
+	// Working set: one kernel slab (KH*KW*bn), reg_n input positions and the
+	// accumulator tile — per channel block, always L1-resident in practice.
+	ws := 4 * (wl.KH*wl.KW*s.OCBlock +
+		s.OCBlock*(s.RegN*wl.StrideW+wl.KW) +
+		s.RegN*s.OCBlock)
+	cacheF := 1.0
+	if ws > t.L1DKB*1024 {
+		cacheF = 0.86
+	}
+
+	unrollF := 1.0
+	if s.UnrollKer && wl.KH*wl.KW <= 9 {
+		unrollF = 1.05
+	}
+
+	return peakFractionDepthwise * laneUtil * latHide * pressure * tail * cacheF * unrollF
 }
 
 // winogradEfficiency is the blocked-schedule quality model for the Winograd

@@ -1,0 +1,45 @@
+package models
+
+import "repro/internal/graph"
+
+// MobileNet v1 (Howard et al., 2017): 13 depthwise-separable blocks behind a
+// strided 3x3 stem. It is the canonical depthwise workload — ~4.2M parameters
+// and ~1.1 GFLOPs, an order of magnitude lighter than the paper's table
+// models — and extends the evaluation suite beyond dense convolutions. It is
+// registered in the model registry (so it compiles, serves and benchmarks
+// like any other model) but stays out of Names(): the paper's tables evaluate
+// exactly the 15 published networks.
+
+func init() {
+	register(&Spec{
+		Name: "mobilenet-v1", Display: "MobileNet-V1",
+		InputC: 3, InputH: 224, InputW: 224,
+		build: func(b *graph.Builder) *graph.Graph {
+			return buildMobileNetV1(b, 1000)
+		},
+	})
+}
+
+// mobileNetV1Blocks lists the 13 depthwise-separable blocks as (pointwise
+// output channels, depthwise stride).
+var mobileNetV1Blocks = []struct {
+	outC, stride int
+}{
+	{64, 1},
+	{128, 2}, {128, 1},
+	{256, 2}, {256, 1},
+	{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+	{1024, 2}, {1024, 1},
+}
+
+func buildMobileNetV1(b *graph.Builder, classes int) *graph.Graph {
+	x := b.Input(3, 224, 224)
+	x = b.ConvBNReLU(x, 32, 3, 2, 1)
+	for _, blk := range mobileNetV1Blocks {
+		x = b.DepthwiseSeparable(x, blk.outC, blk.stride)
+	}
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, classes)
+	return b.Finish(b.Softmax(x))
+}

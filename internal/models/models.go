@@ -1,9 +1,12 @@
 // Package models builds the 15 CNN computation graphs the paper evaluates
 // (Section 4): ResNet-18/34/50/101/152, VGG-11/13/16/19,
-// DenseNet-121/161/169/201, Inception-v3 and SSD with a ResNet-50 base.
-// Weights are deterministic seeded synthetic tensors — the evaluation
-// measures latency, not accuracy, so only shapes and structure matter
-// (see DESIGN.md, substitution table).
+// DenseNet-121/161/169/201, Inception-v3 and SSD with a ResNet-50 base —
+// plus MobileNet-V1, the depthwise-separable extension beyond the paper's
+// suite (registered, but outside Names() so the paper tables stay exactly
+// the published 15). Weights are deterministic seeded synthetic tensors —
+// the evaluation measures latency, not accuracy, so only shapes and
+// structure matter. See README.md in this directory for the full model zoo,
+// including the tiny-* smoke models, and the per-model support matrix.
 //
 // One structural simplification relative to the torchvision definitions:
 // every normalization appears as conv → batch_norm → relu (post-activation),
@@ -42,7 +45,9 @@ func register(s *Spec) {
 	registry[s.Name] = s
 }
 
-// Names returns the model names in the paper's table order.
+// Names returns the model names in the paper's table order. The paper
+// tables iterate exactly this list; extensions beyond the published suite
+// appear in ExtendedNames instead.
 func Names() []string {
 	return []string{
 		"resnet-18", "resnet-34", "resnet-50", "resnet-101", "resnet-152",
@@ -50,6 +55,13 @@ func Names() []string {
 		"densenet-121", "densenet-161", "densenet-169", "densenet-201",
 		"inception-v3", "ssd-resnet-50",
 	}
+}
+
+// ExtendedNames returns every registered full-size model: the paper's 15 in
+// table order followed by the post-paper extensions (MobileNet-V1). The
+// benchmark trajectory files iterate this list.
+func ExtendedNames() []string {
+	return append(Names(), "mobilenet-v1")
 }
 
 // Get returns the spec for a model name.

@@ -19,6 +19,48 @@ func TestNamesAllRegistered(t *testing.T) {
 	if _, err := Get("alexnet"); err == nil {
 		t.Fatal("expected error for unregistered model")
 	}
+	ext := ExtendedNames()
+	if len(ext) != len(names)+1 || ext[len(ext)-1] != "mobilenet-v1" {
+		t.Fatalf("ExtendedNames() = %v, want paper names + mobilenet-v1", ext)
+	}
+	for _, n := range ext {
+		if _, err := Get(n); err != nil {
+			t.Fatalf("Get(%q): %v", n, err)
+		}
+	}
+}
+
+func TestMobileNetV1Structure(t *testing.T) {
+	g := MustBuild("mobilenet-v1", 1)
+	// Stem + 13 blocks x (depthwise + pointwise) = 27 convolutions.
+	if got := len(g.Convs()); got != 27 {
+		t.Fatalf("mobilenet-v1: convs = %d, want 27", got)
+	}
+	depthwise := 0
+	for _, n := range g.Convs() {
+		if graph.ConvWorkload(n).Depthwise() {
+			depthwise++
+		}
+	}
+	if depthwise != 13 {
+		t.Fatalf("mobilenet-v1: depthwise convs = %d, want 13", depthwise)
+	}
+	s := g.ComputeStats()
+	// Reference ~4.2M parameters, ~1.1 GFLOPs (2 FLOPs per MAC).
+	if s.Params < 3.8e6 || s.Params > 4.8e6 {
+		t.Fatalf("mobilenet-v1 params = %d, want ~4.2M", s.Params)
+	}
+	if s.FLOPs < 1.0e9 || s.FLOPs > 1.3e9 {
+		t.Fatalf("mobilenet-v1 FLOPs = %.3g, want ~1.1e9", s.FLOPs)
+	}
+	if err := graph.Optimize(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Topo() {
+		if n.Op == graph.OpBatchNorm {
+			t.Fatalf("unfolded batch norm %v survived (depthwise BN folding)", n)
+		}
+	}
 }
 
 func TestAllModelsBuildAndValidate(t *testing.T) {
@@ -191,7 +233,7 @@ func TestDeterministicWeights(t *testing.T) {
 }
 
 func TestTinyModels(t *testing.T) {
-	for _, mk := range []func(uint64) *graph.Graph{TinyCNN, TinyResNet, TinyDenseNet, TinyVGG} {
+	for _, mk := range []func(uint64) *graph.Graph{TinyCNN, TinyResNet, TinyDenseNet, TinyVGG, TinyMobileNet} {
 		g := mk(3)
 		if err := g.Validate(); err != nil {
 			t.Fatal(err)

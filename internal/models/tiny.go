@@ -98,6 +98,23 @@ func TinySSD(seed uint64) *graph.Graph {
 	return b.Finish(b.SSDHead(attrs, cls0, loc0, cls1, loc1))
 }
 
+// TinyMobileNet is a 3-block depthwise-separable network on 3x32x32 input —
+// the MobileNet structural pattern (strided 3x3 stem, depthwise 3x3 + BN +
+// ReLU followed by pointwise 1x1 + BN + ReLU, one strided depthwise block) at
+// a size real-execution tests can afford.
+func TinyMobileNet(seed uint64) *graph.Graph {
+	b := graph.NewBuilder("tiny-mobilenet", seed)
+	x := b.Input(3, 32, 32)
+	x = b.ConvBNReLU(x, 16, 3, 1, 1)
+	x = b.DepthwiseSeparable(x, 32, 1)
+	x = b.DepthwiseSeparable(x, 32, 2)
+	x = b.DepthwiseSeparable(x, 64, 1)
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, 10)
+	return b.Finish(b.Softmax(x))
+}
+
 // TinyVGG is a 4-conv VGG-style net with a small classifier head.
 func TinyVGG(seed uint64) *graph.Graph {
 	b := graph.NewBuilder("tiny-vgg", seed)

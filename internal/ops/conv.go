@@ -24,9 +24,15 @@ func Conv2DNCHWInto(dst *tensor.Tensor, in, weight *tensor.Tensor, attrs Conv2DA
 	}
 	n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	oc, wc, kh, kw := weight.Shape[0], weight.Shape[1], weight.Shape[2], weight.Shape[3]
-	if wc != c || oc != attrs.OutC || kh != attrs.KH || kw != attrs.KW {
+	groups := attrs.GroupCount()
+	if c%groups != 0 || attrs.OutC%groups != 0 {
+		panic(fmt.Sprintf("ops: groups %d must divide channels %d and %d", groups, c, attrs.OutC))
+	}
+	icPerG := c / groups
+	if wc != icPerG || oc != attrs.OutC || kh != attrs.KH || kw != attrs.KW {
 		panic(fmt.Sprintf("ops: weight shape %v inconsistent with attrs %+v and input channels %d", weight.Shape, attrs, c))
 	}
+	ocPerG := oc / groups
 	oh, ow := attrs.OutSize(h, w)
 	out := tensor.EnsureDst(dst, tensor.NCHW(), n, oc, oh, ow)
 	if pf == nil {
@@ -36,6 +42,9 @@ func Conv2DNCHWInto(dst *tensor.Tensor, in, weight *tensor.Tensor, attrs Conv2DA
 	pf(n*oc, func(unit int) {
 		b := unit / oc
 		k := unit % oc
+		// The group's input-channel window: dense convolution reduces over
+		// every channel (one group), grouped convolution over its slice.
+		icBase := (k / ocPerG) * icPerG
 		var bias float32
 		if epi.Bias != nil {
 			bias = epi.Bias[k]
@@ -43,14 +52,14 @@ func Conv2DNCHWInto(dst *tensor.Tensor, in, weight *tensor.Tensor, attrs Conv2DA
 		for y := 0; y < oh; y++ {
 			for x := 0; x < ow; x++ {
 				acc := bias
-				for ci := 0; ci < c; ci++ {
+				for ci := 0; ci < icPerG; ci++ {
 					for r := 0; r < kh; r++ {
 						iy := y*attrs.StrideH + r - attrs.PadH
 						if iy < 0 || iy >= h {
 							continue
 						}
-						inRow := in.Data[((b*c+ci)*h+iy)*w:]
-						wRow := weight.Data[((k*c+ci)*kh+r)*kw:]
+						inRow := in.Data[((b*c+icBase+ci)*h+iy)*w:]
+						wRow := weight.Data[((k*icPerG+ci)*kh+r)*kw:]
 						for s := 0; s < kw; s++ {
 							ix := x*attrs.StrideW + s - attrs.PadW
 							if ix < 0 || ix >= w {
@@ -88,6 +97,15 @@ func Conv2DNHWCInto(dst *tensor.Tensor, in, weight *tensor.Tensor, attrs Conv2DA
 	}
 	n, h, w, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	oc, kh, kw := weight.Shape[0], weight.Shape[2], weight.Shape[3]
+	groups := attrs.GroupCount()
+	if c%groups != 0 || attrs.OutC%groups != 0 {
+		panic(fmt.Sprintf("ops: groups %d must divide channels %d and %d", groups, c, attrs.OutC))
+	}
+	icPerG := c / groups
+	if weight.Shape[1] != icPerG || oc != attrs.OutC {
+		panic(fmt.Sprintf("ops: weight shape %v inconsistent with attrs %+v and input channels %d", weight.Shape, attrs, c))
+	}
+	ocPerG := oc / groups
 	oh, ow := attrs.OutSize(h, w)
 	out := tensor.EnsureDst(dst, tensor.NHWC(), n, oh, ow, oc)
 	if pf == nil {
@@ -100,6 +118,7 @@ func Conv2DNHWCInto(dst *tensor.Tensor, in, weight *tensor.Tensor, attrs Conv2DA
 		for x := 0; x < ow; x++ {
 			outPix := out.Data[((b*oh+y)*ow+x)*oc:]
 			for k := 0; k < oc; k++ {
+				icBase := (k / ocPerG) * icPerG
 				var acc float32
 				if epi.Bias != nil {
 					acc = epi.Bias[k]
@@ -114,11 +133,11 @@ func Conv2DNHWCInto(dst *tensor.Tensor, in, weight *tensor.Tensor, attrs Conv2DA
 						if ix < 0 || ix >= w {
 							continue
 						}
-						inPix := in.Data[((b*h+iy)*w+ix)*c:]
-						wRow := weight.Data[((k*c)*kh+r)*kw+s:]
+						inPix := in.Data[((b*h+iy)*w+ix)*c+icBase:]
+						wRow := weight.Data[((k*icPerG)*kh+r)*kw+s:]
 						// Weight stride between consecutive in-channels at a
 						// fixed (r,s) is kh*kw.
-						for ci := 0; ci < c; ci++ {
+						for ci := 0; ci < icPerG; ci++ {
 							acc += inPix[ci] * wRow[ci*kh*kw]
 						}
 					}
@@ -208,8 +227,19 @@ func Conv2DNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor.Tensor, 
 	}
 	n, icOuter, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	ocOuter, kh, kw := weight.Shape[0], weight.Shape[2], weight.Shape[3]
-	if icOuter != weight.Shape[1] {
-		panic(fmt.Sprintf("ops: input ic.outer %d != weight %d", icOuter, weight.Shape[1]))
+	// Grouped convolution: the channel blocks must tile the groups exactly
+	// (ic_bn divides in_channels/groups, oc_bn divides out_channels/groups),
+	// so each output block reduces over a contiguous run of input blocks and
+	// the dense template below applies per group unchanged. Dense convolution
+	// is the one-group case at zero cost.
+	groups := attrs.GroupCount()
+	if icOuter%groups != 0 || ocOuter%groups != 0 {
+		panic(fmt.Sprintf("ops: %d groups do not tile %d input / %d output channel blocks", groups, icOuter, ocOuter))
+	}
+	icOuterPerG := icOuter / groups
+	ocOuterPerG := ocOuter / groups
+	if icOuterPerG != weight.Shape[1] {
+		panic(fmt.Sprintf("ops: per-group ic.outer %d != weight %d", icOuterPerG, weight.Shape[1]))
 	}
 	oh, ow := attrs.OutSize(h, w)
 	out := tensor.EnsureDst(dst, tensor.NCHWc(ocb), n, ocOuter, oh, ow, ocb)
@@ -250,7 +280,9 @@ func Conv2DNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor.Tensor, 
 		} else {
 			acc = make([]float32, regN*ocb)
 		}
-		wBase := co * icOuter * kh * kw * icb * ocb
+		wBase := co * icOuterPerG * kh * kw * icb * ocb
+		// First input channel block of this output block's group.
+		icBase := (co / ocOuterPerG) * icOuterPerG
 
 		for owo := 0; owo < ow; owo += regN {
 			tile := regN
@@ -261,8 +293,8 @@ func Conv2DNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor.Tensor, 
 				acc[i] = 0
 			}
 
-			for ci := 0; ci < icOuter; ci++ {
-				inBase := ((b*icOuter+ci)*ph + y*attrs.StrideH) * pw * icb
+			for ci := 0; ci < icOuterPerG; ci++ {
+				inBase := ((b*icOuter+icBase+ci)*ph + y*attrs.StrideH) * pw * icb
 				wCI := wBase + ci*kh*kw*icb*ocb
 				if unrollKer && kh == 3 && kw == 3 {
 					conv3x3Tile(padded.Data, weight.Data, acc, inBase, wCI, pw, icb, ocb, tile, owo, attrs.StrideW)

@@ -31,11 +31,32 @@ type Conv2DAttrs struct {
 	OutC, KH, KW     int
 	StrideH, StrideW int
 	PadH, PadW       int
+	// Groups partitions the channels: input channels split into Groups
+	// disjoint sets and each output channel reduces over only its group's
+	// inputs. 0 or 1 means a dense convolution; Groups equal to the input
+	// channel count is a depthwise convolution. The weight's second dimension
+	// is in_channels/Groups.
+	Groups int
 }
 
 // OutSize returns the output spatial size for an input of h×w.
 func (a Conv2DAttrs) OutSize(h, w int) (int, int) {
 	return (h+2*a.PadH-a.KH)/a.StrideH + 1, (w+2*a.PadW-a.KW)/a.StrideW + 1
+}
+
+// GroupCount normalizes the Groups field: the zero value means one dense
+// group.
+func (a Conv2DAttrs) GroupCount() int {
+	if a.Groups <= 1 {
+		return 1
+	}
+	return a.Groups
+}
+
+// Depthwise reports whether the attributes describe a depthwise convolution
+// over inC input channels: one group per channel.
+func (a Conv2DAttrs) Depthwise(inC int) bool {
+	return a.GroupCount() > 1 && a.Groups == inC && a.OutC == inC
 }
 
 // Epilogue describes computation fused into a convolution's output store:

@@ -226,6 +226,17 @@ func Conv2DInt8NCHWcInto(dst *tensor.Tensor, in *QTensor, weight *QTensor, attrs
 	}
 	n, icOuter, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	ocOuter, kh, kw := weight.Shape[0], weight.Shape[2], weight.Shape[3]
+	// Grouped convolution, mirroring the fp32 template: blocks tile groups
+	// exactly, each output block reduces over its group's input blocks.
+	groups := attrs.GroupCount()
+	if icOuter%groups != 0 || ocOuter%groups != 0 {
+		panic(fmt.Sprintf("quant: %d groups do not tile %d input / %d output channel blocks", groups, icOuter, ocOuter))
+	}
+	icOuterPerG := icOuter / groups
+	ocOuterPerG := ocOuter / groups
+	if icOuterPerG != weight.Shape[1] {
+		panic(fmt.Sprintf("quant: per-group ic.outer %d != weight %d", icOuterPerG, weight.Shape[1]))
+	}
 	oh, ow := attrs.OutSize(h, w)
 	out := tensor.EnsureDst(dst, tensor.NCHWc(ocb), n, ocOuter, oh, ow, ocb)
 	if pf == nil {
@@ -251,7 +262,8 @@ func Conv2DInt8NCHWcInto(dst *tensor.Tensor, in *QTensor, weight *QTensor, attrs
 		co := rest % ocOuter
 		b := rest / ocOuter
 		acc := make([]int32, regN*ocb)
-		wBase := co * icOuter * kh * kw * icb * ocb
+		wBase := co * icOuterPerG * kh * kw * icb * ocb
+		icBase := (co / ocOuterPerG) * icOuterPerG
 		for owo := 0; owo < ow; owo += regN {
 			tile := regN
 			if ow-owo < tile {
@@ -260,8 +272,8 @@ func Conv2DInt8NCHWcInto(dst *tensor.Tensor, in *QTensor, weight *QTensor, attrs
 			for i := range acc[:tile*ocb] {
 				acc[i] = 0
 			}
-			for ci := 0; ci < icOuter; ci++ {
-				inBase := ((b*icOuter+ci)*padded.Shape[2] + y*attrs.StrideH) * pw * icb
+			for ci := 0; ci < icOuterPerG; ci++ {
+				inBase := ((b*icOuter+icBase+ci)*padded.Shape[2] + y*attrs.StrideH) * pw * icb
 				wCI := wBase + ci*kh*kw*icb*ocb
 				for r := 0; r < kh; r++ {
 					rowOff := inBase + r*pw*icb

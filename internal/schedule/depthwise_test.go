@@ -1,0 +1,86 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestCandidatesDepthwise pins the depthwise candidate domain: one shared
+// channel block on both sides, no winograd, every block a divisor of the
+// channel count.
+func TestCandidatesDepthwise(t *testing.T) {
+	wl := machine.ConvWorkload{
+		InC: 32, InH: 14, InW: 14, OutC: 32, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 32,
+	}
+	tgt := machine.IntelSkylakeC5()
+	cands := Candidates(wl, tgt)
+	if len(cands) == 0 {
+		t.Fatal("no depthwise candidates")
+	}
+	for _, s := range cands {
+		if s.ICBlock != s.OCBlock {
+			t.Fatalf("depthwise candidate with split blocks: %v", s)
+		}
+		if wl.InC%s.ICBlock != 0 {
+			t.Fatalf("block %d does not divide channels %d", s.ICBlock, wl.InC)
+		}
+		if s.Algorithm == machine.AlgoWinograd {
+			t.Fatalf("winograd candidate on a depthwise workload: %v", s)
+		}
+	}
+}
+
+// TestCandidatesGrouped pins the grouped candidate domain: blocks range over
+// per-group divisors only, and the 3x3 stride-1 geometry still gets no
+// winograd candidates once grouped.
+func TestCandidatesGrouped(t *testing.T) {
+	wl := machine.ConvWorkload{
+		InC: 32, InH: 14, InW: 14, OutC: 64, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 4,
+	}
+	tgt := machine.IntelSkylakeC5()
+	for _, s := range Candidates(wl, tgt) {
+		if (wl.InC/4)%s.ICBlock != 0 || (wl.OutC/4)%s.OCBlock != 0 {
+			t.Fatalf("candidate blocks (%d,%d) straddle groups (per-group %d,%d)", s.ICBlock, s.OCBlock, wl.InC/4, wl.OutC/4)
+		}
+		if s.Algorithm == machine.AlgoWinograd {
+			t.Fatalf("winograd candidate on a grouped workload: %v", s)
+		}
+	}
+	// The dense version of the same geometry does get winograd candidates, so
+	// the absence above is the groups gate, not the geometry.
+	dense := wl
+	dense.Groups = 0
+	hasWino := false
+	for _, s := range Candidates(dense, tgt) {
+		if s.Algorithm == machine.AlgoWinograd {
+			hasWino = true
+		}
+	}
+	if !hasWino {
+		t.Fatal("dense 3x3 stride-1 control lost its winograd candidates")
+	}
+}
+
+// TestLocalSearchDepthwise runs the cost-model local search over a depthwise
+// workload end to end: it must rank some full-vector-lane schedule first.
+func TestLocalSearchDepthwise(t *testing.T) {
+	wl := machine.ConvWorkload{
+		InC: 64, InH: 28, InW: 28, OutC: 64, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 64,
+	}
+	tgt := machine.IntelSkylakeC5()
+	results := LocalSearch(wl, tgt, CostModelEvaluator(tgt))
+	if len(results) == 0 {
+		t.Fatal("empty depthwise search")
+	}
+	best := results[0].Sched
+	if best.OCBlock%tgt.VectorLanes != 0 {
+		t.Fatalf("best depthwise schedule %v does not fill the %d vector lanes", best, tgt.VectorLanes)
+	}
+	if results[0].Time <= 0 {
+		t.Fatalf("non-positive predicted time %g", results[0].Time)
+	}
+}

@@ -57,6 +57,12 @@ func divisors(n int) []int {
 //   - for 3x3 stride-1 workloads, each block pair additionally gets one
 //     Winograd candidate (the algorithm is a searched dimension of the
 //     scheme; the Winograd kernel has no reg_n/unroll knobs).
+//
+// Grouped convolutions restrict the block domains so channel blocks never
+// straddle a group: ic_bn ranges over divisors of in_channels/groups and
+// oc_bn over divisors of out_channels/groups. Depthwise convolutions further
+// tie the pair — output lane v of a channel block reads input lane v of the
+// same block, so ic_bn must equal oc_bn — and never get Winograd candidates.
 func Candidates(wl machine.ConvWorkload, t *machine.Target) []machine.ConvSchedule {
 	ow := wl.OutW()
 	regNs := make([]int, 0, len(regNCandidates))
@@ -71,13 +77,31 @@ func Candidates(wl machine.ConvWorkload, t *machine.Target) []machine.ConvSchedu
 	if clamped != 0 {
 		regNs = append(regNs, clamped)
 	}
+	if wl.Depthwise() {
+		var out []machine.ConvSchedule
+		for _, bn := range divisors(wl.InC) {
+			if bn > 64 {
+				continue
+			}
+			for _, rn := range regNs {
+				for _, unroll := range []bool{true, false} {
+					out = append(out, machine.ConvSchedule{
+						Layout:  tensor.NCHWc(bn),
+						ICBlock: bn, OCBlock: bn,
+						RegN: rn, UnrollKer: unroll,
+					})
+				}
+			}
+		}
+		return out
+	}
 	winograd := wl.WinogradViable()
 	var out []machine.ConvSchedule
-	for _, ic := range divisors(wl.InC) {
+	for _, ic := range divisors(wl.InC / wl.GroupCount()) {
 		if ic > 64 {
 			continue
 		}
-		for _, oc := range divisors(wl.OutC) {
+		for _, oc := range divisors(wl.OutC / wl.GroupCount()) {
 			if oc > 64 {
 				continue
 			}
@@ -127,20 +151,27 @@ func MeasuredEvaluator(trials int) Evaluator {
 	return func(wl machine.ConvWorkload, s machine.ConvSchedule) float64 {
 		in := tensor.New(tensor.NCHW(), 1, wl.InC, wl.InH, wl.InW)
 		in.FillRandom(1, 1)
-		wt := tensor.New(tensor.OIHW(), wl.OutC, wl.InC, wl.KH, wl.KW)
+		wt := tensor.New(tensor.OIHW(), wl.OutC, wl.InC/wl.GroupCount(), wl.KH, wl.KW)
 		wt.FillRandom(2, 1)
 		attrs := ops.Conv2DAttrs{
 			OutC: wl.OutC, KH: wl.KH, KW: wl.KW,
 			StrideH: wl.StrideH, StrideW: wl.StrideW, PadH: wl.PadH, PadW: wl.PadW,
+			Groups: wl.Groups,
 		}
 		blockedIn := tensor.ToNCHWc(in, s.ICBlock)
 		run := func() {}
-		if s.Algorithm == machine.AlgoWinograd {
+		switch {
+		case s.Algorithm == machine.AlgoWinograd:
 			u := ops.WinogradWeightTransformNCHWc(wt, s.ICBlock, s.OCBlock)
 			run = func() {
 				ops.Conv2DWinogradNCHWc(blockedIn, u, attrs, s.ICBlock, s.OCBlock, ops.Epilogue{}, nil)
 			}
-		} else {
+		case wl.Depthwise():
+			packed := tensor.PackWeights(wt, 1, s.OCBlock)
+			run = func() {
+				ops.Conv2DDepthwiseNCHWc(blockedIn, packed, attrs, s.OCBlock, s.RegN, s.UnrollKer, ops.Epilogue{}, nil)
+			}
+		default:
 			blockedWt := tensor.PackWeights(wt, s.ICBlock, s.OCBlock)
 			run = func() {
 				ops.Conv2DNCHWc(blockedIn, blockedWt, attrs, s.ICBlock, s.OCBlock, s.RegN, s.UnrollKer, ops.Epilogue{}, nil)

@@ -23,9 +23,10 @@
 // preallocated tensor arena makes steady-state inference allocation-free.
 // One-shot callers can use Engine.Run directly.
 //
-// Model names come from the paper's evaluation registry (resnet-18/.../152,
-// vgg-11/.../19, densenet-121/.../201, inception-v3, ssd-resnet-50); custom
-// graphs built with internal/graph compile through CompileGraph.
+// Model names come from the model registry: the paper's evaluation suite
+// (resnet-18/.../152, vgg-11/.../19, densenet-121/.../201, inception-v3,
+// ssd-resnet-50) plus mobilenet-v1, the depthwise-separable extension.
+// Custom graphs built with internal/graph compile through CompileGraph.
 package neocpu
 
 import (

@@ -87,6 +87,8 @@ func (l Level) core() core.OptLevel {
 	}
 }
 
+// String returns the level's canonical name, the form ParseLevel accepts
+// ("baseline-nchw", "layout-opt", "transform-elim", "global-search").
 func (l Level) String() string { return l.core().String() }
 
 // ParseLevel resolves a level name ("baseline-nchw", "layout-opt",
@@ -130,6 +132,7 @@ func (b Backend) machine() machine.ThreadBackend {
 	}
 }
 
+// String returns the backend's name ("pool", "omp" or "serial").
 func (b Backend) String() string { return b.machine().String() }
 
 // SearchOptions tunes the global optimization-scheme search used at
