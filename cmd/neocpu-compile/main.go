@@ -6,16 +6,28 @@
 // Usage:
 //
 //	neocpu-compile -model resnet-50 -target intel-skylake -level global-search
+//
+// With -o the command emits a deployable artifact bundle (execution plan,
+// packed weights, graph metadata, target signature) that neocpu-serve -repo
+// and neocpu.LoadBundle bring up without searching or packing:
+//
+//	neocpu-compile -model resnet-18 -o models/resnet-18.neob
+//
+// Emitting a bundle compiles the model executably (weights materialized and
+// packed), so it costs more memory and time than the default predict-only
+// report.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"sort"
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/models"
 	"repro/pkg/neocpu"
 )
 
@@ -26,6 +38,9 @@ func main() {
 	threads := flag.Int("threads", 0, "execution width (0 = all cores)")
 	showSchemes := flag.Bool("schemes", false, "print the chosen scheme per convolution")
 	savePlan := flag.String("saveplan", "", "write the chosen schemes to this JSON file (re-apply with core.CompileWithPlan)")
+	saveBundle := flag.String("o", "", "write a deployable artifact bundle (plan + packed weights) to this file; compiles executably instead of predict-only")
+	int8Mode := flag.Bool("int8", false, "compile quantized INT8 inference (with -o, the bundle carries the quantized packed weights)")
+	seed := flag.Uint64("seed", 42, "synthetic-weight seed (bundles record it for graph rebuilding)")
 	flag.Parse()
 
 	level, err := neocpu.ParseLevel(*levelName)
@@ -33,20 +48,40 @@ func main() {
 		fatal(err)
 	}
 
-	// Compilation only: WithPredictOnly skips weight materialization, so even
-	// VGG-19 compiles in a few MB.
-	engine, err := neocpu.Compile(*model,
+	copts := []neocpu.Option{
 		neocpu.WithTarget(*targetName),
 		neocpu.WithOptLevel(level),
 		neocpu.WithThreads(*threads),
-		neocpu.WithPredictOnly(),
+		neocpu.WithSeed(*seed),
 		// Match the candidate cap the report/baselines simulators use, so
 		// printed schemes and saved plans agree with the regenerated tables.
 		neocpu.WithSearch(neocpu.SearchOptions{MaxCands: 10}),
-	)
+	}
+	if *saveBundle == "" {
+		// Compilation only: WithPredictOnly skips weight materialization, so
+		// even VGG-19 compiles in a few MB. Bundles need the real packed
+		// weights, so -o compiles executably.
+		copts = append(copts, neocpu.WithPredictOnly())
+	}
+	if *int8Mode {
+		copts = append(copts, neocpu.WithInt8())
+	}
+	var engine *neocpu.Engine
+	if slices.Contains(models.TinyNames(), *model) {
+		// The tiny-* smoke models live outside the paper registry; they are a
+		// few KB, so they always compile executably.
+		g, gerr := models.BuildAny(*model, *seed)
+		if gerr != nil {
+			fatal(gerr)
+		}
+		engine, err = neocpu.CompileGraph(g, copts...)
+	} else {
+		engine, err = neocpu.Compile(*model, copts...)
+	}
 	if err != nil {
 		fatal(err)
 	}
+	defer engine.Close()
 	pre, post := engine.Stats()
 	g := engine.Graph()
 	in := engine.InputShape()
@@ -76,6 +111,25 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("plan:     %d schemes written to %s\n", len(g.Convs()), *savePlan)
+	}
+
+	if *saveBundle != "" {
+		f, err := os.Create(*saveBundle)
+		if err != nil {
+			fatal(err)
+		}
+		if err := engine.SaveBundle(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fi, err := os.Stat(*saveBundle)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bundle:   %d KiB written to %s (load with neocpu-serve -repo or neocpu.LoadBundle)\n",
+			fi.Size()/1024, *saveBundle)
 	}
 
 	if *showSchemes {

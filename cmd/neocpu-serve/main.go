@@ -1,10 +1,18 @@
-// Command neocpu-serve compiles a model and serves it over HTTP with pooled
-// sessions and dynamic micro-batching, speaking a kserve-v2-style JSON
-// protocol.
+// Command neocpu-serve serves CNN inference over HTTP with pooled sessions
+// and dynamic micro-batching, speaking a kserve-v2-style JSON protocol. It
+// runs in one of two modes:
 //
-// Usage:
+// Single-model: compile a named model in-process and serve it.
 //
 //	neocpu-serve -model resnet-18 -addr :8000 -pool 4 -max-batch 8
+//
+// Repository: serve a directory of precompiled artifact bundles
+// (neocpu-compile -o). Nothing is searched or packed at boot — bundles
+// deserialize straight into executable modules, all models share one arena
+// budget with LRU eviction of idle models, and the repository endpoints
+// load/unload models live.
+//
+//	neocpu-serve -repo ./models -arena-budget 268435456 -addr :8000
 //
 // Endpoints:
 //
@@ -12,7 +20,11 @@
 //	GET  /v2/models/<model>          metadata
 //	GET  /v2/models/<model>/ready
 //	POST /v2/models/<model>/infer    {"inputs":[{"name":"input","shape":[1,3,H,W],"datatype":"FP32","data":[...]}]}
-//	GET  /v2/stats                   pool + batcher counters
+//	GET  /v2/models/<model>/stats    per-model pool + batcher counters
+//	GET  /v2/stats                   counters (single: one model; repo: all)
+//	GET  /v2/repository/index        every model's lifecycle state
+//	POST /v2/repository/models/<model>/load
+//	POST /v2/repository/models/<model>/unload
 //
 // By default each pooled session runs serially (one core per in-flight
 // batch) so the pool scales throughput across cores; pass -threads N > 1 to
@@ -27,13 +39,18 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/machine"
 	"repro/internal/models"
+	"repro/internal/serve"
+	"repro/internal/threadpool"
 	"repro/pkg/neocpu"
 )
 
@@ -59,7 +76,14 @@ func main() {
 	queueDepth := flag.Int("queue", 0, "admission queue depth (0 = 4x max-batch); beyond it requests get 429")
 	int8Mode := flag.Bool("int8", false, "serve quantized INT8 inference")
 	seed := flag.Uint64("seed", 42, "synthetic-weight seed")
+	repoDir := flag.String("repo", "", "serve a model repository: directory of .neob bundles (neocpu-compile -o); ignores -model/-level/-int8/-seed")
+	arenaBudget := flag.Int("arena-budget", 0, "repository mode: total session-arena bytes across loaded models, LRU-evicting idle models past it (0 = unlimited)")
 	flag.Parse()
+
+	if *repoDir != "" {
+		serveRepository(*repoDir, *addr, *arenaBudget, *threads, *poolSize, *maxBatch, *maxLatency, *queueDepth)
+		return
+	}
 
 	level, err := neocpu.ParseLevel(*levelName)
 	if err != nil {
@@ -119,6 +143,82 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("shut down")
+}
+
+// serveRepository boots the repository mode: every bundle in dir is loaded
+// at startup (budget permitting), and the repository endpoints load/unload
+// models live afterwards.
+func serveRepository(dir, addr string, arenaBudget, threads, poolSize, maxBatch int, maxLatency time.Duration, queueDepth int) {
+	defaults := serve.Config{PoolSize: poolSize, MaxBatch: maxBatch, MaxLatency: maxLatency}
+	if maxLatency == 0 {
+		defaults.MaxLatency = serve.NoLatency
+	}
+	if queueDepth > 0 {
+		defaults.QueueDepth = queueDepth
+	}
+	loadOpts := core.Options{Threads: 1, Backend: machine.BackendSerial}
+	if threads > 1 {
+		// All loaded models borrow one kernel pool, so N models do not stack
+		// N×threads worker goroutines.
+		shared := threadpool.NewPool(threads)
+		defer shared.Close()
+		loadOpts = core.Options{Threads: threads, Backend: machine.BackendPool, SharedPool: shared}
+	}
+	reg, err := serve.NewRegistry(
+		&serve.DirSource{Dir: dir, Resolve: models.ResolveGraph},
+		serve.RegistryConfig{ArenaBudget: arenaBudget, Defaults: defaults, LoadOptions: loadOpts},
+	)
+	if err != nil {
+		fatal(err)
+	}
+	names := make([]string, 0, len(reg.Index()))
+	for _, m := range reg.Index() {
+		names = append(names, m.Name)
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no %s bundles in %s (produce them with neocpu-compile -o)", serve.BundleExt, dir))
+	}
+	fmt.Printf("repository %s: %d bundle(s): %v\n", dir, len(names), names)
+	for _, name := range names {
+		start := time.Now()
+		if err := reg.Load(name); err != nil {
+			// Over-budget boots leave the overflow models available for
+			// explicit loads (which evict someone idle) instead of failing.
+			fmt.Printf("  %-20s not loaded: %v\n", name, err)
+			continue
+		}
+		st, _ := reg.ModelStatsFor(name)
+		fmt.Printf("  %-20s loaded in %v (%d KiB arena/session, pool<=%d)\n",
+			name, time.Since(start).Round(time.Millisecond),
+			st.Pool.ArenaBytesPerSession/1024, st.Pool.MaxSize)
+	}
+
+	srv, err := serve.NewRepository(reg)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	budgetLabel := "unlimited"
+	if arenaBudget > 0 {
+		budgetLabel = fmt.Sprintf("%d KiB", arenaBudget/1024)
+	}
+	fmt.Printf("serving repository on %s (arena budget %s)\n", addr, budgetLabel)
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+		fmt.Println("shut down")
+	case err := <-errc:
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

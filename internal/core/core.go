@@ -103,6 +103,12 @@ type Options struct {
 	// either way — the plan keeps concurrent levels alias-free — so this is
 	// a performance knob, not a numerics one.
 	DisableInterOp bool
+	// SharedPool, when non-nil and the backend is the custom thread pool,
+	// makes the module execute on the caller's pool instead of constructing
+	// its own. Multi-model serving uses this so N loaded models contend for
+	// one set of worker goroutines rather than N×threads of them. The pool is
+	// borrowed: Module.Close leaves it running for its owner.
+	SharedPool *threadpool.Pool
 	// Search configures the global search at OptGlobalSearch.
 	Search search.Options
 }
@@ -213,21 +219,23 @@ func SharedScheduleDB(t *machine.Target, threads int, backend machine.ThreadBack
 	return db
 }
 
-// finalizeModule performs the compilation tail shared by Compile and
-// CompileWithPlan: module construction, execution-width defaults, weight
-// pre-packing (fp32 or int8) and SSD anchor pre-computation.
-func finalizeModule(g *graph.Graph, t *machine.Target, level OptLevel, searchOutcome *search.Outcome, opts Options) (*Module, error) {
+// newModule constructs the module shell shared by the compile and
+// bundle-load paths: execution-width defaults and the pass-pipeline record,
+// with no parameters installed and no runtime yet.
+func newModule(g *graph.Graph, t *machine.Target, level OptLevel, searchOutcome *search.Outcome, opts Options) *Module {
 	m := &Module{
-		Graph:   g,
-		Target:  t,
-		Level:   level,
-		Search:  searchOutcome,
-		Int8:    opts.Int8,
-		threads: opts.Threads,
-		backend: opts.Backend,
-		packed:  map[*graph.Node]*tensor.Tensor{},
-		qpacked: map[*graph.Node]*quant.QTensor{},
-		anchors: map[*graph.Node]*tensor.Tensor{},
+		Graph:         g,
+		Target:        t,
+		Level:         level,
+		Search:        searchOutcome,
+		Int8:          opts.Int8,
+		disableFusion: opts.DisableFusion,
+		disableBNFold: opts.DisableBNFold,
+		threads:       opts.Threads,
+		backend:       opts.Backend,
+		packed:        map[*graph.Node]*tensor.Tensor{},
+		qpacked:       map[*graph.Node]*quant.QTensor{},
+		anchors:       map[*graph.Node]*tensor.Tensor{},
 	}
 	if m.threads <= 0 {
 		m.threads = t.Cores
@@ -236,6 +244,50 @@ func finalizeModule(g *graph.Graph, t *machine.Target, level OptLevel, searchOut
 		// Zero value means "unspecified": default to the custom pool.
 		m.backend = machine.BackendPool
 	}
+	return m
+}
+
+// finishRuntime performs the execution tail shared by compilation and bundle
+// loading, after the module's parameters are in place: SSD anchor
+// pre-computation, the program/slot tables, the execution plan, and the
+// threading runtime. Prediction-only modules skip the plan and the runtime.
+func (m *Module) finishRuntime(opts Options) {
+	m.program = m.Graph.Topo()
+	m.slot = make(map[*graph.Node]int, len(m.program))
+	for i, n := range m.program {
+		m.slot[n] = i
+		// Pre-compute SSD anchors (they depend only on feature-map shapes).
+		if n.Op == graph.OpSSDHead {
+			m.anchors[n] = buildAnchors(n)
+		}
+	}
+	if opts.NoPrepack {
+		return
+	}
+	// Compile the execution plan: liveness-packed arena slots and the
+	// level-synchronous inter-op schedule.
+	m.plan = buildExecPlan(m.Graph, m.program, m.Int8, m.threads, m.backend, opts.DisableInterOp)
+	// Construct the threading runtime now rather than lazily on first Run:
+	// concurrent Sessions share one module, and a lazy first-use init would
+	// race.
+	switch m.backend {
+	case machine.BackendPool:
+		if opts.SharedPool != nil {
+			m.pool = opts.SharedPool
+			m.sharedPool = true
+		} else {
+			m.pool = threadpool.NewPool(m.threads)
+		}
+	case machine.BackendOMP:
+		m.omp = threadpool.NewOMPPool(m.threads)
+	}
+}
+
+// finalizeModule performs the compilation tail shared by Compile and
+// CompileWithPlan: module construction, execution-width defaults, weight
+// pre-packing (fp32 or int8) and SSD anchor pre-computation.
+func finalizeModule(g *graph.Graph, t *machine.Target, level OptLevel, searchOutcome *search.Outcome, opts Options) (*Module, error) {
+	m := newModule(g, t, level, searchOutcome, opts)
 
 	// Pre-transform convolution weights at compile time (Figure 2: the
 	// kernel layout is invariant, so the transform is paid once here, never
@@ -278,33 +330,6 @@ func finalizeModule(g *graph.Graph, t *machine.Target, level OptLevel, searchOut
 			}
 		}
 	}
-	// Pre-compute SSD anchors (they depend only on feature-map shapes).
-	for _, n := range g.Topo() {
-		if n.Op == graph.OpSSDHead {
-			m.anchors[n] = buildAnchors(n)
-		}
-	}
-	m.program = g.Topo()
-	m.slot = make(map[*graph.Node]int, len(m.program))
-	for i, n := range m.program {
-		m.slot[n] = i
-	}
-	// Compile the execution plan: liveness-packed arena slots and the
-	// level-synchronous inter-op schedule. Prediction-only modules never
-	// execute, so they skip it (alongside the threading runtime below).
-	if !opts.NoPrepack {
-		m.plan = buildExecPlan(g, m.program, opts.Int8, m.threads, m.backend, opts.DisableInterOp)
-	}
-	// Construct the threading runtime now rather than lazily on first Run:
-	// concurrent Sessions share one module, and a lazy first-use init would
-	// race. Prediction-only modules never execute, so they skip it.
-	if !opts.NoPrepack {
-		switch m.backend {
-		case machine.BackendPool:
-			m.pool = threadpool.NewPool(m.threads)
-		case machine.BackendOMP:
-			m.omp = threadpool.NewOMPPool(m.threads)
-		}
-	}
+	m.finishRuntime(opts)
 	return m, nil
 }

@@ -34,6 +34,11 @@ type Module struct {
 	Int8 bool
 	// noPrepack marks prediction-only modules (weights were released).
 	noPrepack bool
+	// disableFusion/disableBNFold record the pass-pipeline ablations the
+	// module was compiled with, so SaveBundle can make a loader rebuild the
+	// exact node set the parameters were saved against.
+	disableFusion bool
+	disableBNFold bool
 
 	threads int
 	backend machine.ThreadBackend
@@ -53,6 +58,9 @@ type Module struct {
 
 	pool *threadpool.Pool
 	omp  *threadpool.OMPPool
+	// sharedPool marks a borrowed pool (Options.SharedPool): Close leaves it
+	// running for its owner.
+	sharedPool bool
 }
 
 // Threads returns the configured execution width.
@@ -80,11 +88,15 @@ func (m *Module) parallelFor() ops.ParallelFor {
 }
 
 // Close releases the threading runtime (both the custom pool and the
-// OMP-style runtime). The module remains usable; subsequent runs execute
-// serially. Close must not race with in-flight Run/Session.Run calls.
+// OMP-style runtime). A pool borrowed via Options.SharedPool is dropped, not
+// closed — its owner decides its lifetime. The module remains usable;
+// subsequent runs execute serially. Close must not race with in-flight
+// Run/Session.Run calls.
 func (m *Module) Close() {
 	if m.pool != nil {
-		m.pool.Close()
+		if !m.sharedPool {
+			m.pool.Close()
+		}
 		m.pool = nil
 	}
 	if m.omp != nil {

@@ -47,13 +47,9 @@ type PlanFile struct {
 	Entries []PlanEntry `json:"entries"`
 }
 
-// SavePlan serializes the module's chosen per-convolution schemes as JSON.
-func (m *Module) SavePlan(w io.Writer) error {
-	pf := PlanFile{
-		Model:  m.Graph.Name,
-		Target: m.Target.Name,
-		Level:  m.Level.String(),
-	}
+// planEntries serializes the module's chosen per-convolution schemes.
+func (m *Module) planEntries() []PlanEntry {
+	var entries []PlanEntry
 	for _, n := range m.Graph.Convs() {
 		e := PlanEntry{Conv: n.Name}
 		switch n.Sched.Layout.Kind {
@@ -71,7 +67,18 @@ func (m *Module) SavePlan(w io.Writer) error {
 		default:
 			e.Layout = "nchw"
 		}
-		pf.Entries = append(pf.Entries, e)
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// SavePlan serializes the module's chosen per-convolution schemes as JSON.
+func (m *Module) SavePlan(w io.Writer) error {
+	pf := PlanFile{
+		Model:   m.Graph.Name,
+		Target:  m.Target.Name,
+		Level:   m.Level.String(),
+		Entries: m.planEntries(),
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

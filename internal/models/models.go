@@ -97,6 +97,50 @@ func MustBuild(name string, seed uint64) *graph.Graph {
 	return g
 }
 
+// tinyBuilders maps the tiny-* smoke models onto their constructors. They
+// live outside the Spec registry (the paper tables must stay the published
+// suite) but serving layers still need to rebuild them by name.
+var tinyBuilders = map[string]func(seed uint64) *graph.Graph{
+	"tiny-cnn":       TinyCNN,
+	"tiny-resnet":    TinyResNet,
+	"tiny-densenet":  TinyDenseNet,
+	"tiny-inception": TinyInception,
+	"tiny-ssd":       TinySSD,
+	"tiny-mobilenet": TinyMobileNet,
+	"tiny-vgg":       TinyVGG,
+}
+
+// TinyNames returns the tiny smoke-model names in sorted order.
+func TinyNames() []string {
+	names := make([]string, 0, len(tinyBuilders))
+	for k := range tinyBuilders {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuildAny constructs any known model by name — full-size registry entries
+// or the tiny-* smoke models — with the given parameter seed.
+func BuildAny(name string, seed uint64) (*graph.Graph, error) {
+	if tb, ok := tinyBuilders[name]; ok {
+		return tb(seed), nil
+	}
+	return Build(name, seed)
+}
+
+// ResolveGraph rebuilds any known model's structure by name: the default
+// graph resolver for bundle loading (core.LoadBundle). Full-size models are
+// built shape-only — the bundle supplies every runtime parameter, so
+// materializing hundreds of megabytes of synthetic weights here would be
+// waste — while the tiny smoke models build fully (they are a few KB).
+func ResolveGraph(name string, seed uint64) (*graph.Graph, error) {
+	if tb, ok := tinyBuilders[name]; ok {
+		return tb(seed), nil
+	}
+	return BuildShapeOnly(name)
+}
+
 // BuildShapeOnly constructs the named model without materializing weight
 // payloads. The graph supports every compiler pass and the latency
 // predictor but cannot be executed; the simulation harnesses use it to keep

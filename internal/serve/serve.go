@@ -43,8 +43,8 @@ type Config struct {
 const NoLatency = time.Duration(-1)
 
 // withDefaults resolves zero fields; it does not validate (New does), and it
-// leaves PoolSize 0 ("auto") for New to resolve against the module's planned
-// arena footprint.
+// leaves PoolSize 0 ("auto") for pool construction to resolve against the
+// module's planned arena footprint.
 func (c Config) withDefaults() Config {
 	if c.ArenaBudget == 0 {
 		c.ArenaBudget = 64 << 20
@@ -64,70 +64,89 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server exposes one compiled module over the kserve-v2-style JSON protocol:
-//
-//	GET  /v2                        server metadata
-//	GET  /v2/health/live            liveness
-//	GET  /v2/health/ready           readiness (warm session, not closed)
-//	GET  /v2/models/<name>          model metadata
-//	GET  /v2/models/<name>/ready    per-model readiness
-//	POST /v2/models/<name>/infer    inference
-//	GET  /v2/stats                  pool + batcher statistics (extension)
-//
-// Requests are admitted into the micro-batcher; the Handler is safe for
-// arbitrary concurrent use.
-type Server struct {
-	mod     *core.Module
-	model   string
-	cfg     Config
-	pool    *SessionPool
-	batcher *Batcher
-	mux     *http.ServeMux
-	closed  atomic.Bool
-
-	maxBody int64
+// validate rejects negative knobs (zero means "default", negatives are
+// always caller bugs).
+func (c Config) validate() error {
+	if c.PoolSize < 0 {
+		return fmt.Errorf("serve: pool size must be positive, got %d", c.PoolSize)
+	}
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("serve: max batch must be positive, got %d", c.MaxBatch)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("serve: queue depth must be positive, got %d", c.QueueDepth)
+	}
+	return nil
 }
 
-// Stats aggregates the serving-side counters.
+// Server exposes a model registry over the kserve-v2-style JSON protocol:
+//
+//	GET  /v2                                     server metadata
+//	GET  /v2/health/live                         liveness
+//	GET  /v2/health/ready                        readiness (not closed)
+//	GET  /v2/models/<name>                       model metadata
+//	GET  /v2/models/<name>/ready                 per-model readiness
+//	POST /v2/models/<name>/infer                 inference
+//	GET  /v2/models/<name>/stats                 per-model statistics (extension)
+//	GET  /v2/stats                               statistics (extension)
+//	GET  /v2/repository/index                    repository index
+//	POST /v2/repository/index                    repository index (kserve form)
+//	POST /v2/repository/models/<name>/load       bring a model up
+//	POST /v2/repository/models/<name>/unload     take a model down
+//
+// Requests are admitted into the addressed model's micro-batcher; the
+// Handler is safe for arbitrary concurrent use, including concurrently with
+// repository load/unload transitions.
+//
+// A server is either single-model (New: one caller-owned compiled module,
+// /v2/stats keeps its historical single-object shape) or repository-backed
+// (NewRepository: N models loaded on demand from artifact bundles under one
+// arena budget).
+type Server struct {
+	reg     *Registry
+	primary string // single-model mode: the addressed model; "" in repository mode
+	repo    bool
+	mux     *http.ServeMux
+	closed  atomic.Bool
+}
+
+// Stats aggregates one model's serving-side counters.
 type Stats struct {
 	Model string     `json:"model"`
 	Pool  PoolStats  `json:"pool"`
 	Batch BatchStats `json:"batch"`
 }
 
-// New builds a server over a compiled module. The model name is the path
-// component clients address (conventionally the graph name).
+// New builds a single-model server over a compiled module. The model name is
+// the path component clients address (conventionally the graph name). The
+// caller keeps ownership of the module; Close never closes it.
 func New(mod *core.Module, model string, cfg Config) (*Server, error) {
 	if model == "" {
 		model = mod.Graph.Name
 	}
-	if cfg.PoolSize < 0 {
-		return nil, fmt.Errorf("serve: pool size must be positive, got %d", cfg.PoolSize)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	if cfg.MaxBatch < 0 {
-		return nil, fmt.Errorf("serve: max batch must be positive, got %d", cfg.MaxBatch)
-	}
-	if cfg.QueueDepth < 0 {
-		return nil, fmt.Errorf("serve: queue depth must be positive, got %d", cfg.QueueDepth)
-	}
-	cfg = cfg.withDefaults()
-	if cfg.PoolSize == 0 {
-		cfg.PoolSize = defaultPoolSize(mod, cfg.ArenaBudget)
-	}
-	pool, err := NewSessionPool(mod, cfg.PoolSize)
+	reg, err := NewRegistry(nil, RegistryConfig{Defaults: cfg})
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		mod:     mod,
-		model:   model,
-		cfg:     cfg,
-		pool:    pool,
-		batcher: NewBatcher(pool, cfg.MaxBatch, cfg.MaxLatency, cfg.QueueDepth),
+	if err := reg.AddStatic(model, mod, cfg); err != nil {
+		return nil, err
 	}
-	// Bound request bodies: the input tensor is fixed-size, and JSON spends
-	// at most ~32 bytes per float32; headroom covers ids and whitespace.
-	s.maxBody = int64(32*s.mod.Graph.Input.OutShape.Volume() + 64*1024)
+	s := &Server{reg: reg, primary: model}
+	s.routes()
+	return s, nil
+}
+
+// NewRepository builds a server over a model registry — typically one backed
+// by a DirSource of artifact bundles. The server takes ownership of the
+// registry: Close drains and closes it.
+func NewRepository(reg *Registry) (*Server, error) {
+	if reg == nil {
+		return nil, errors.New("serve: nil registry")
+	}
+	s := &Server{reg: reg, repo: true}
 	s.routes()
 	return s, nil
 }
@@ -135,21 +154,34 @@ func New(mod *core.Module, model string, cfg Config) (*Server, error) {
 // Handler returns the HTTP handler. Valid until Close.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Model returns the served model name.
-func (s *Server) Model() string { return s.model }
+// Model returns the served model name (single-model mode; empty for
+// repository servers).
+func (s *Server) Model() string { return s.primary }
 
-// Stats snapshots the pool and batcher counters.
+// Registry returns the underlying model registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Stats snapshots the primary model's pool and batcher counters
+// (single-model mode; zero for repository servers — use Registry().Stats()).
 func (s *Server) Stats() Stats {
-	return Stats{Model: s.model, Pool: s.pool.Stats(), Batch: s.batcher.Stats()}
+	if s.primary == "" {
+		return Stats{}
+	}
+	st, err := s.reg.ModelStatsFor(s.primary)
+	if err != nil {
+		return Stats{Model: s.primary}
+	}
+	return st
 }
 
-// Close drains the batcher and marks the server unready. It does not close
-// the underlying module (the caller owns it).
+// Close drains every loaded model's batcher, closes the registry and marks
+// the server unready. Modules registered via New remain open (the caller
+// owns them); repository-loaded modules are closed.
 func (s *Server) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
-	s.batcher.Close()
+	s.reg.Close()
 }
 
 func (s *Server) routes() {
@@ -160,7 +192,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v2/models/{model}", s.handleModelMetadata)
 	s.mux.HandleFunc("GET /v2/models/{model}/ready", s.handleModelReady)
 	s.mux.HandleFunc("POST /v2/models/{model}/infer", s.handleInfer)
+	s.mux.HandleFunc("GET /v2/models/{model}/stats", s.handleModelStats)
 	s.mux.HandleFunc("GET /v2/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v2/repository/index", s.handleRepositoryIndex)
+	s.mux.HandleFunc("POST /v2/repository/index", s.handleRepositoryIndex)
+	s.mux.HandleFunc("POST /v2/repository/models/{model}/load", s.handleRepositoryLoad)
+	s.mux.HandleFunc("POST /v2/repository/models/{model}/unload", s.handleRepositoryUnload)
 }
 
 // Wire format (the kserve v2 inference protocol's JSON shapes, restricted to
@@ -214,6 +251,25 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// registryStatus maps the registry's typed errors onto HTTP statuses: a name
+// the repository has never heard of is 404, a known-but-unloaded model is
+// 503 (the kserve distinction clients retry on), a model mid-transition is
+// 409, and budget exhaustion is 507.
+func registryStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrModelNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrModelNotReady), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrModelBusy):
+		return http.StatusConflict
+	case errors.Is(err, ErrArenaBudget):
+		return http.StatusInsufficientStorage
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"live": true})
 }
@@ -227,42 +283,58 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleServerMetadata(w http.ResponseWriter, r *http.Request) {
+	idx := s.reg.Index()
+	names := make([]string, 0, len(idx))
+	for _, m := range idx {
+		names = append(names, m.Name)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"name":       "neocpu-serve",
-		"extensions": []string{"stats"},
-		"models":     []string{s.model},
+		"extensions": []string{"stats", "repository"},
+		"models":     names,
 	})
 }
 
-func (s *Server) checkModel(w http.ResponseWriter, r *http.Request) bool {
-	if name := r.PathValue("model"); name != s.model {
-		writeError(w, http.StatusNotFound, "unknown model %q (serving %q)", name, s.model)
-		return false
+// resolveModel looks up the addressed model, writing the kserve-style error
+// (404 unknown vs 503 known-but-unloaded) on failure.
+func (s *Server) resolveModel(w http.ResponseWriter, r *http.Request) (string, *core.Module, bool) {
+	name := r.PathValue("model")
+	mod, err := s.reg.Module(name)
+	if err != nil {
+		writeError(w, registryStatus(err), "%v", err)
+		return name, nil, false
 	}
-	return true
+	return name, mod, true
 }
 
 func (s *Server) handleModelReady(w http.ResponseWriter, r *http.Request) {
-	if !s.checkModel(w, r) {
-		return
+	name := r.PathValue("model")
+	_, err := s.reg.Module(name)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+	case errors.Is(err, ErrModelNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
 	}
-	s.handleReady(w, r)
 }
 
 func (s *Server) handleModelMetadata(w http.ResponseWriter, r *http.Request) {
-	if !s.checkModel(w, r) {
+	name, mod, ok := s.resolveModel(w, r)
+	if !ok {
 		return
 	}
 	md := modelMetadata{
-		Name:     s.model,
+		Name:     name,
 		Platform: "neocpu-go",
 		Inputs: []tensorMetadata{{
 			Name:     "input",
 			Datatype: "FP32",
-			Shape:    s.mod.Graph.Input.OutShape.Dims,
+			Shape:    mod.Graph.Input.OutShape.Dims,
 		}},
 	}
-	for i, o := range s.mod.Graph.Outputs {
+	for i, o := range mod.Graph.Outputs {
 		md.Outputs = append(md.Outputs, tensorMetadata{
 			Name:     fmt.Sprintf("output_%d", i),
 			Datatype: "FP32",
@@ -273,15 +345,57 @@ func (s *Server) handleModelMetadata(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	// Single-model servers keep the historical single-object shape;
+	// repository servers report every model.
+	if !s.repo {
+		writeJSON(w, http.StatusOK, s.Stats())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.reg.Stats())
+}
+
+func (s *Server) handleModelStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	st, err := s.reg.ModelStatsFor(name)
+	if err != nil {
+		writeError(w, registryStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleRepositoryIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Index())
+}
+
+func (s *Server) handleRepositoryLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	if err := s.reg.Load(name); err != nil {
+		writeError(w, registryStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"model": name, "state": string(StateReady)})
+}
+
+func (s *Server) handleRepositoryUnload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	if err := s.reg.Unload(name); err != nil {
+		writeError(w, registryStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"model": name, "state": string(StateUnloaded)})
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	if !s.checkModel(w, r) {
+	name, mod, ok := s.resolveModel(w, r)
+	if !ok {
 		return
 	}
 	var req InferRequest
-	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	// Bound request bodies: the input tensor is fixed-size, and JSON spends
+	// at most ~32 bytes per float32; headroom covers ids and whitespace.
+	maxBody := int64(32*mod.Graph.Input.OutShape.Volume() + 64*1024)
+	body := http.MaxBytesReader(w, r.Body, maxBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -291,20 +405,24 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
 		return
 	}
-	in, err := s.requestTensor(&req)
+	in, err := requestTensor(mod, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
-	outs, err := s.batcher.Do(r.Context(), in)
+	outs, err := s.reg.Infer(r.Context(), name, in)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "server overloaded: %v", err)
-		case errors.Is(err, ErrClosed):
+		case errors.Is(err, ErrClosed), errors.Is(err, ErrModelNotReady):
+			// The model was unloaded (or evicted) while the request was in
+			// flight; clients retry after a repository load.
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, ErrModelNotFound):
+			writeError(w, http.StatusNotFound, "%v", err)
 		case r.Context().Err() != nil:
 			// The client is gone; the status is a formality.
 			writeError(w, http.StatusRequestTimeout, "request cancelled: %v", err)
@@ -314,7 +432,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp := InferResponse{ModelName: s.model, ID: req.ID}
+	resp := InferResponse{ModelName: name, ID: req.ID}
 	for i, o := range outs {
 		resp.Outputs = append(resp.Outputs, InferTensor{
 			Name:     fmt.Sprintf("output_%d", i),
@@ -338,7 +456,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 // requestTensor validates the request against the compiled input geometry
 // and builds the NCHW input tensor.
-func (s *Server) requestTensor(req *InferRequest) (*tensor.Tensor, error) {
+func requestTensor(mod *core.Module, req *InferRequest) (*tensor.Tensor, error) {
 	if len(req.Inputs) != 1 {
 		return nil, fmt.Errorf("expected exactly 1 input tensor, got %d", len(req.Inputs))
 	}
@@ -346,7 +464,7 @@ func (s *Server) requestTensor(req *InferRequest) (*tensor.Tensor, error) {
 	if in.Datatype != "" && in.Datatype != "FP32" {
 		return nil, fmt.Errorf("unsupported datatype %q (only FP32)", in.Datatype)
 	}
-	want := s.mod.Graph.Input.OutShape.Dims
+	want := mod.Graph.Input.OutShape.Dims
 	if len(in.Shape) != len(want) {
 		return nil, fmt.Errorf("input shape %v, want %v", in.Shape, want)
 	}

@@ -276,6 +276,53 @@ func (e *Engine) SearchStats() (stats SearchStats, ok bool) {
 // JSON, re-appliable with the internal core.CompileWithPlan flow.
 func (e *Engine) SavePlan(w io.Writer) error { return e.mod.SavePlan(w) }
 
+// SaveBundle serializes the engine as a self-contained deployable artifact:
+// execution plan, packed weights, graph and I/O metadata, and the target
+// signature. LoadBundle reconstructs a bit-identical engine from it without
+// searching or packing — the compile-once/deploy-everywhere flow of the
+// paper's serving setting. Predict-only engines carry no packed weights and
+// cannot be bundled.
+func (e *Engine) SaveBundle(w io.Writer) error {
+	if e.mod.PredictOnly() {
+		return ErrPredictOnly
+	}
+	return e.mod.SaveBundle(w)
+}
+
+// LoadBundle deserializes an engine from a bundle written by SaveBundle. No
+// optimization search or weight packing runs: the recorded schemes are
+// re-applied to the rebuilt graph structure and the packed weights are
+// installed directly, so loading is fast and the loaded engine computes
+// bit-identical results to the engine that produced the bundle.
+//
+// Only runtime options apply (WithThreads, WithBackend, WithInterOp); the
+// model, optimization level, precision and target are recorded in the bundle
+// itself, so compile-time options (WithOptLevel, WithInt8, WithTarget,
+// WithSeed, WithSearch) have no effect. A bundle produced for a different
+// target signature fails with core.ErrBundleTarget; a corrupted or stale
+// bundle fails with artifact.ErrInvalidArtifact.
+func LoadBundle(r io.Reader, opts ...Option) (*Engine, error) {
+	cfg := newConfig(opts)
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	copts := core.Options{
+		Threads:        cfg.threads,
+		Backend:        cfg.backend.machine(),
+		DisableInterOp: cfg.noInterOp,
+	}
+	if cfg.backend == BackendSerial {
+		// Same rule as compile(): explicit serial means one execution lane.
+		copts.Threads = 1
+	}
+	mod, err := core.LoadBundle(r, models.ResolveGraph, copts)
+	if err != nil {
+		return nil, err
+	}
+	stats := mod.Graph.ComputeStats()
+	return &Engine{mod: mod, statsBefore: stats, statsAfter: stats}, nil
+}
+
 // Session is a reusable, single-lane execution context over an Engine. Its
 // preallocated arena makes steady-state Run allocation-free. Create one per
 // goroutine; the underlying Engine is shared safely.

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/models"
 	"repro/internal/tensor"
 )
 
@@ -365,5 +366,80 @@ func TestRegistryCompileExecutes(t *testing.T) {
 	}
 	if sum < 0.999 || sum > 1.001 {
 		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestBundleThroughFacade(t *testing.T) {
+	orig, err := CompileGraph(models.TinyCNN(1),
+		WithOptLevel(LevelTransformElim), WithThreads(1), WithBackend(BackendSerial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+
+	var buf bytes.Buffer
+	if err := orig.SaveBundle(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBundle(bytes.NewReader(buf.Bytes()), WithThreads(1), WithBackend(BackendSerial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if loaded.Level() != orig.Level() || loaded.Int8() != orig.Int8() {
+		t.Fatalf("loaded level=%v int8=%v, original level=%v int8=%v",
+			loaded.Level(), loaded.Int8(), orig.Level(), orig.Int8())
+	}
+
+	in := orig.NewInput()
+	in.FillRandom(9, 1)
+	want, err := orig.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want[0].Data {
+		if got[0].Data[i] != want[0].Data[i] {
+			t.Fatalf("output[%d]: loaded %v != original %v (must be bit-identical)",
+				i, got[0].Data[i], want[0].Data[i])
+		}
+	}
+
+	// Predict-only engines carry no packed weights and cannot be bundled.
+	po, err := Compile("resnet-18", WithPredictOnly(), WithOptLevel(LevelTransformElim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := po.SaveBundle(&bytes.Buffer{}); !errors.Is(err, ErrPredictOnly) {
+		t.Fatalf("predict-only SaveBundle: %v, want ErrPredictOnly", err)
+	}
+	// Garbage is rejected with the artifact layer's typed error, not a panic.
+	if _, err := LoadBundle(strings.NewReader("not a bundle")); err == nil {
+		t.Fatal("garbage bundle loaded")
+	}
+}
+
+func TestWithArenaBudgetOption(t *testing.T) {
+	e, err := CompileGraph(models.TinyCNN(2),
+		WithOptLevel(LevelTransformElim), WithThreads(1), WithBackend(BackendSerial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := NewServer(e, "", WithArenaBudget(-1)); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("negative arena budget: %v, want ErrBadOption", err)
+	}
+	// A budget that fits exactly one arena clamps the default pool bound to
+	// the minimum of 2.
+	srv, err := NewServer(e, "", WithArenaBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if max := srv.Stats().Pool.MaxSize; max != 2 {
+		t.Fatalf("pool bound %d under 1-byte budget, want the clamp minimum 2", max)
 	}
 }

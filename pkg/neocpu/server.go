@@ -86,6 +86,20 @@ func WithMaxLatency(d time.Duration) ServeOption {
 	}
 }
 
+// WithArenaBudget caps the memory the default pool sizing spends on session
+// arenas, in bytes (default 64 MiB): the pool bound becomes as many session
+// arenas as fit the budget, clamped to [2, 16]. Ignored when WithPoolSize
+// sets the bound explicitly.
+func WithArenaBudget(n int) ServeOption {
+	return func(c *serveConfig) {
+		if n <= 0 {
+			c.err = fmt.Errorf("%w: arena budget %d (must be >= 1)", ErrBadOption, n)
+			return
+		}
+		c.cfg.ArenaBudget = n
+	}
+}
+
 // WithQueueDepth bounds the admission queue (default 4x the max batch).
 // Requests beyond it are rejected with 429 instead of queueing unbounded
 // work.
