@@ -74,6 +74,8 @@ func main() {
 	maxBatch := flag.Int("max-batch", 8, "max requests coalesced per dispatch")
 	maxLatency := flag.Duration("max-latency", 2*time.Millisecond, "longest wait for batch stragglers (0 = dispatch immediately)")
 	queueDepth := flag.Int("queue", 0, "admission queue depth (0 = 4x max-batch); beyond it requests get 429")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "default per-request deadline budget when the client sends no X-Request-Timeout; expiry answers 504 (0 = no server-side budget)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "how long shutdown/unload lets in-flight batches finish before cancelling them")
 	int8Mode := flag.Bool("int8", false, "serve quantized INT8 inference")
 	seed := flag.Uint64("seed", 42, "synthetic-weight seed")
 	repoDir := flag.String("repo", "", "serve a model repository: directory of .neob bundles (neocpu-compile -o); ignores -model/-level/-int8/-seed")
@@ -81,7 +83,8 @@ func main() {
 	flag.Parse()
 
 	if *repoDir != "" {
-		serveRepository(*repoDir, *addr, *arenaBudget, *threads, *poolSize, *maxBatch, *maxLatency, *queueDepth)
+		serveRepository(*repoDir, *addr, *arenaBudget, *threads, *poolSize, *maxBatch,
+			*maxLatency, *queueDepth, *requestTimeout, *drainTimeout)
 		return
 	}
 
@@ -121,6 +124,8 @@ func main() {
 	sopts := []neocpu.ServeOption{
 		neocpu.WithMaxBatch(*maxBatch),
 		neocpu.WithMaxLatency(*maxLatency),
+		neocpu.WithRequestTimeout(*requestTimeout),
+		neocpu.WithDrainTimeout(*drainTimeout),
 	}
 	poolLabel := "auto"
 	if *poolSize > 0 {
@@ -148,10 +153,20 @@ func main() {
 // serveRepository boots the repository mode: every bundle in dir is loaded
 // at startup (budget permitting), and the repository endpoints load/unload
 // models live afterwards.
-func serveRepository(dir, addr string, arenaBudget, threads, poolSize, maxBatch int, maxLatency time.Duration, queueDepth int) {
-	defaults := serve.Config{PoolSize: poolSize, MaxBatch: maxBatch, MaxLatency: maxLatency}
+func serveRepository(dir, addr string, arenaBudget, threads, poolSize, maxBatch int,
+	maxLatency time.Duration, queueDepth int, requestTimeout, drainTimeout time.Duration) {
+	defaults := serve.Config{
+		PoolSize:       poolSize,
+		MaxBatch:       maxBatch,
+		MaxLatency:     maxLatency,
+		RequestTimeout: requestTimeout,
+		DrainTimeout:   drainTimeout,
+	}
 	if maxLatency == 0 {
 		defaults.MaxLatency = serve.NoLatency
+	}
+	if requestTimeout == 0 {
+		defaults.RequestTimeout = serve.NoTimeout
 	}
 	if queueDepth > 0 {
 		defaults.QueueDepth = queueDepth
@@ -210,6 +225,11 @@ func serveRepository(dir, addr string, arenaBudget, threads, poolSize, maxBatch 
 	go func() { errc <- hs.ListenAndServe() }()
 	select {
 	case <-ctx.Done():
+		// Graceful handoff: stop admission (readiness goes false so load
+		// balancers route away), let in-flight requests finish under the
+		// HTTP shutdown grace, then tear the registry down.
+		fmt.Println("draining...")
+		srv.Drain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {

@@ -60,6 +60,29 @@ const Version = 1
 // or lengths. Callers branch with errors.Is.
 var ErrInvalidArtifact = errors.New("artifact: invalid bundle")
 
+// ErrTruncated marks the subset of invalid-bundle failures where the stream
+// ended before the header's claims were satisfied. Truncation is the
+// signature of a torn read — a bundle observed mid-write or over flaky I/O —
+// so unlike the rest of ErrInvalidArtifact it is worth retrying. Errors on
+// truncated paths wrap both sentinels.
+var ErrTruncated = errors.New("artifact: truncated bundle")
+
+// Retryable classifies a model-load failure for retry loops: transient
+// failures (torn reads, interrupted I/O) return true; deterministic ones —
+// a missing bundle, a permission error, a bundle that is simply corrupt —
+// return false, since retrying them only delays the inevitable failure.
+// Errors may also self-classify by implementing Retryable() bool.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var rt interface{ Retryable() bool }
+	if errors.As(err, &rt) {
+		return rt.Retryable()
+	}
+	return errors.Is(err, ErrTruncated)
+}
+
 // Decoding limits. They bound what a hostile header can make the reader
 // allocate or loop over; real bundles sit far below all of them.
 const (
@@ -381,7 +404,7 @@ func readExact(r io.Reader, n int) ([]byte, error) {
 	if n <= chunk {
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil, fmt.Errorf("%w: truncated (%v)", ErrInvalidArtifact, err)
+			return nil, fmt.Errorf("%w: %w (%v)", ErrInvalidArtifact, ErrTruncated, err)
 		}
 		return buf, nil
 	}
@@ -391,7 +414,7 @@ func readExact(r io.Reader, n int) ([]byte, error) {
 		start := len(buf)
 		buf = append(buf, make([]byte, m)...)
 		if _, err := io.ReadFull(r, buf[start:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated (%v)", ErrInvalidArtifact, err)
+			return nil, fmt.Errorf("%w: %w (%v)", ErrInvalidArtifact, ErrTruncated, err)
 		}
 	}
 	return buf, nil
@@ -411,7 +434,7 @@ func decodeF32(b []byte) []float32 {
 func ReadHeader(r io.Reader) (*Header, error) {
 	var fixed [12]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
-		return nil, fmt.Errorf("%w: short prelude (%v)", ErrInvalidArtifact, err)
+		return nil, fmt.Errorf("%w: %w: short prelude (%v)", ErrInvalidArtifact, ErrTruncated, err)
 	}
 	if string(fixed[:4]) != Magic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrInvalidArtifact, fixed[:4])

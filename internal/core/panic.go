@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// ExecPanicError reports a panic recovered at the session-run boundary: a
+// kernel or executor blew up mid-inference instead of returning an error.
+// The session that was executing is quarantined (Session.Corrupted reports
+// true) because its arena may hold partially written state — serving layers
+// must discard it rather than recycle it into a pool, and should treat
+// repeated ExecPanicErrors on one model as a degradation signal (circuit
+// breaker) rather than crashing the process.
+type ExecPanicError struct {
+	// Model is the graph name of the module that was executing.
+	Model string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *ExecPanicError) Error() string {
+	return fmt.Sprintf("core: panic executing %q: %v", e.Model, e.Value)
+}
+
+// recoverExec converts an in-flight panic into an *ExecPanicError and marks
+// the session corrupted. It must be called via defer with the run's named
+// error result.
+func (s *Session) recoverExec(err *error) {
+	if r := recover(); r != nil {
+		s.corrupt.Store(true)
+		*err = &ExecPanicError{Model: s.m.Graph.Name, Value: r, Stack: debug.Stack()}
+	}
+}
+
+// Corrupted reports whether a panic was recovered while this session was
+// executing. A corrupted session's arena is in an unknown state: it must not
+// be reused for inference, and pooled-session owners should discard it and
+// create a fresh session instead.
+func (s *Session) Corrupted() bool { return s.corrupt.Load() }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/ops"
 	"repro/internal/tensor"
 	"repro/internal/threadpool"
@@ -60,6 +61,10 @@ type Session struct {
 	runs      atomic.Uint64
 	items     atomic.Uint64
 	busyNanos atomic.Int64
+
+	// corrupt marks a session whose execution panicked: the arena may hold
+	// partial writes, so the session refuses further runs (see Corrupted).
+	corrupt atomic.Bool
 }
 
 // SessionStats counts the work one session has executed. Runs counts Run
@@ -220,6 +225,23 @@ func (s *Session) run(ctx context.Context, input *tensor.Tensor, pf ops.Parallel
 	return nil
 }
 
+// safeRun is the session-run boundary: a quarantined session refuses to
+// execute, the fault-injection site fires (no-op unless a test armed it),
+// and a panic anywhere in the kernels or executor is recovered into a typed
+// *ExecPanicError instead of crashing the process. Both threading runtimes
+// re-raise worker panics on the submitting goroutine, so this boundary
+// catches parallel-region panics too.
+func (s *Session) safeRun(ctx context.Context, input *tensor.Tensor, pf ops.ParallelFor) (err error) {
+	if s.corrupt.Load() {
+		return fmt.Errorf("core: session for %q is quarantined after a panic; create a new session", s.m.Graph.Name)
+	}
+	defer s.recoverExec(&err)
+	if err := faults.Fire(faults.SiteSessionRun, s.m.Graph.Name); err != nil {
+		return err
+	}
+	return s.run(ctx, input, pf)
+}
+
 // Run executes the model on one NCHW input, reusing the session arena. The
 // returned tensors are views into the arena's pinned output slots: they are
 // valid until the next Run/RunBatch on this session, and must be Clone()d to
@@ -233,7 +255,7 @@ func (s *Session) Run(ctx context.Context, input *tensor.Tensor) ([]*tensor.Tens
 		s.busyNanos.Add(int64(time.Since(start)))
 		s.runs.Add(1)
 	}()
-	if err := s.run(ctx, input, s.m.parallelFor()); err != nil {
+	if err := s.safeRun(ctx, input, s.m.parallelFor()); err != nil {
 		return nil, err
 	}
 	for i, o := range s.m.Graph.Outputs {
@@ -275,7 +297,7 @@ func (s *Session) RunBatch(ctx context.Context, inputs []*tensor.Tensor) ([][]*t
 				return results, &BatchError{Completed: i, Err: err}
 			}
 		}
-		if err := s.run(ctx, in, pf); err != nil {
+		if err := s.safeRun(ctx, in, pf); err != nil {
 			return results, &BatchError{Completed: i, Err: fmt.Errorf("core: batch input %d: %w", i, err)}
 		}
 		outs := make([]*tensor.Tensor, len(s.m.Graph.Outputs))

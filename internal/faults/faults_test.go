@@ -1,0 +1,116 @@
+package faults_test
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func TestFireUnarmedIsNoop(t *testing.T) {
+	if err := faults.Fire("nope", "x"); err != nil {
+		t.Fatalf("unarmed Fire returned %v", err)
+	}
+	if got := faults.Count("nope"); got != 0 {
+		t.Fatalf("unarmed fire counted: %d", got)
+	}
+}
+
+func TestErrorHookAndRemove(t *testing.T) {
+	defer faults.Reset()
+	boom := errors.New("boom")
+	remove := faults.Inject("site", faults.Error(boom))
+	if err := faults.Fire("site", "m"); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if got := faults.Count("site"); got != 1 {
+		t.Fatalf("count %d, want 1", got)
+	}
+	remove()
+	if err := faults.Fire("site", "m"); err != nil {
+		t.Fatalf("after remove: %v", err)
+	}
+}
+
+func TestOnLabelScopes(t *testing.T) {
+	defer faults.Reset()
+	boom := errors.New("boom")
+	faults.Inject("site", faults.OnLabel("model-a", faults.Error(boom)))
+	if err := faults.Fire("site", "model-b"); err != nil {
+		t.Fatalf("wrong label faulted: %v", err)
+	}
+	if err := faults.Fire("site", "model-a"); !errors.Is(err, boom) {
+		t.Fatalf("matching label passed: %v", err)
+	}
+}
+
+func TestTimesHeals(t *testing.T) {
+	defer faults.Reset()
+	boom := errors.New("boom")
+	faults.Inject("site", faults.Times(2, faults.Error(boom)))
+	for i := 0; i < 2; i++ {
+		if err := faults.Fire("site", "m"); !errors.Is(err, boom) {
+			t.Fatalf("fire %d: %v", i, err)
+		}
+	}
+	if err := faults.Fire("site", "m"); err != nil {
+		t.Fatalf("did not heal: %v", err)
+	}
+}
+
+func TestPanicHookPanics(t *testing.T) {
+	defer faults.Reset()
+	faults.Inject("site", faults.Panic("kaboom"))
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	faults.Fire("site", "m")
+	t.Fatal("did not panic")
+}
+
+func TestDelayHookSleeps(t *testing.T) {
+	defer faults.Reset()
+	faults.Inject("site", faults.Delay(20*time.Millisecond))
+	start := time.Now()
+	if err := faults.Fire("site", "m"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delay hook returned after %v", elapsed)
+	}
+}
+
+func TestTornReader(t *testing.T) {
+	defer faults.Reset()
+	faults.InjectReader("site", faults.TornReader(5))
+	r := faults.WrapReader("site", "m", strings.NewReader("0123456789"))
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("read %q, want torn at 5", got)
+	}
+	faults.Reset()
+	r = faults.WrapReader("site", "m", strings.NewReader("0123456789"))
+	if got, _ := io.ReadAll(r); string(got) != "0123456789" {
+		t.Fatalf("after reset read %q", got)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	faults.Inject("a", faults.Error(errors.New("x")))
+	faults.InjectReader("b", faults.TornReader(1))
+	faults.Reset()
+	if err := faults.Fire("a", "m"); err != nil {
+		t.Fatalf("hook survived reset: %v", err)
+	}
+	if got := faults.Count("a"); got != 0 {
+		t.Fatalf("counter survived reset: %d", got)
+	}
+}

@@ -3,11 +3,13 @@ package serve
 import (
 	"context"
 	"errors"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/tensor"
 )
 
@@ -19,6 +21,16 @@ var (
 	// ErrClosed is returned for requests that arrive during or after
 	// shutdown.
 	ErrClosed = errors.New("serve: server is closed")
+	// ErrDeadline is returned for requests whose deadline budget cannot be
+	// met: either the live queue is predicted to outlast the remaining
+	// budget at admission, or the deadline expired while the request was
+	// queued. The HTTP layer maps it to 504.
+	ErrDeadline = errors.New("serve: request deadline exceeded")
+	// ErrModelDegraded is returned while a model's circuit breaker is open:
+	// repeated execution failures quarantined it, and only probe traffic is
+	// admitted until it recovers. The HTTP layer maps it to 503 with a
+	// Retry-After.
+	ErrModelDegraded = errors.New("serve: model is degraded")
 )
 
 // request is one in-flight inference waiting to be batched.
@@ -43,21 +55,46 @@ type response struct {
 // MaxBatch, waiting at most MaxLatency for stragglers, and hands the batch
 // to a runner goroutine. Admission is bounded by the queue depth: a full
 // queue rejects immediately with ErrQueueFull rather than queueing unbounded
-// work.
+// work, and a request whose deadline the live queue cannot meet is refused
+// with ErrDeadline rather than admitted to time out.
+//
+// The batcher is also the panic-isolation boundary of the serving stack: a
+// batch that fails with *core.ExecPanicError fails only its own requests,
+// and the (possibly arena-corrupted) session is discarded from the pool
+// instead of recycled.
 type Batcher struct {
+	model      string // fault-site label and error context
 	pool       *SessionPool
 	maxBatch   int
 	maxLatency time.Duration
+	drain      time.Duration
 	queue      chan *request
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 
+	// draining stops admission while Close lets in-flight work finish;
+	// active counts dispatched-but-unfinished batches (the drain signal).
+	draining atomic.Bool
+	active   atomic.Int64
+
+	// ewmaNanos tracks observed batch execution latency (exponentially
+	// weighted), the basis for Retry-After and deadline admission.
+	ewmaNanos atomic.Int64
+
+	// onResult, when set, is called once per dispatched batch with the
+	// execution failure (nil for success or client-caused aborts) — the
+	// registry hangs the model's circuit breaker on it. Set before the
+	// batcher receives traffic.
+	onResult func(error)
+
 	mu          sync.Mutex
 	batches     uint64
 	items       uint64
 	rejected    uint64
+	shed        uint64
+	panics      uint64
 	maxObserved int
 }
 
@@ -71,21 +108,37 @@ type BatchStats struct {
 	MaxObserved int    `json:"max_observed"`
 	// Rejected counts requests refused with ErrQueueFull.
 	Rejected uint64 `json:"rejected"`
+	// Shed counts requests refused or dropped for deadline reasons: budgets
+	// the live queue could not meet at admission, and already-expired
+	// requests evicted from the queue to make room under pressure.
+	Shed uint64 `json:"shed"`
+	// Panics counts batches that failed with a recovered execution panic
+	// (each also discarded its session from the pool).
+	Panics uint64 `json:"panics"`
+	// EstimatedWaitNS is the current queue-depth × observed-batch-latency
+	// wait prediction, the basis for Retry-After.
+	EstimatedWaitNS int64 `json:"estimated_wait_ns"`
 }
 
-// NewBatcher starts the dispatcher. queueDepth bounds admission (minimum 1).
-func NewBatcher(pool *SessionPool, maxBatch int, maxLatency time.Duration, queueDepth int) *Batcher {
+// NewBatcher starts the dispatcher for one model. cfg must already have its
+// defaults resolved (Registry.Load does); MaxBatch and QueueDepth are
+// clamped to at least 1.
+func NewBatcher(model string, pool *SessionPool, cfg Config) *Batcher {
+	maxBatch := cfg.MaxBatch
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
+	queueDepth := cfg.QueueDepth
 	if queueDepth < 1 {
 		queueDepth = 1
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	b := &Batcher{
+		model:      model,
 		pool:       pool,
 		maxBatch:   maxBatch,
-		maxLatency: maxLatency,
+		maxLatency: cfg.MaxLatency,
+		drain:      cfg.DrainTimeout,
 		queue:      make(chan *request, queueDepth),
 		baseCtx:    ctx,
 		cancel:     cancel,
@@ -95,20 +148,34 @@ func NewBatcher(pool *SessionPool, maxBatch int, maxLatency time.Duration, queue
 	return b
 }
 
+// OnBatchDone installs the per-batch completion callback (nil error means
+// the batch executed; a non-nil error is an execution failure, client-caused
+// aborts excluded). It must be installed before the batcher receives
+// traffic.
+func (b *Batcher) OnBatchDone(fn func(error)) { b.onResult = fn }
+
 // Do submits one input and blocks until its batch completes, the caller's
-// ctx is done, or the batcher shuts down.
+// ctx is done, or the batcher shuts down. A ctx deadline is the request's
+// whole-lifetime budget: admission refuses it outright (ErrDeadline) when
+// the live queue is predicted to outlast it.
 func (b *Batcher) Do(ctx context.Context, in *tensor.Tensor) ([]*tensor.Tensor, error) {
-	if b.baseCtx.Err() != nil {
+	if b.draining.Load() || b.baseCtx.Err() != nil {
 		return nil, ErrClosed
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if wait := b.EstimatedWait(); wait > 0 && time.Until(dl) < wait {
+			b.count(func() { b.shed++ })
+			return nil, ErrDeadline
+		}
 	}
 	req := &request{ctx: ctx, input: in, resp: make(chan response, 1)}
 	select {
 	case b.queue <- req:
 	default:
-		b.mu.Lock()
-		b.rejected++
-		b.mu.Unlock()
-		return nil, ErrQueueFull
+		if !b.shedExpiredFor(req) {
+			b.count(func() { b.rejected++ })
+			return nil, ErrQueueFull
+		}
 	}
 	select {
 	case r := <-req.resp:
@@ -128,9 +195,61 @@ func (b *Batcher) Do(ctx context.Context, in *tensor.Tensor) ([]*tensor.Tensor, 
 	}
 }
 
-// Close stops admission, waits for in-flight batches, and fails queued
-// requests with ErrClosed.
+// shedExpiredFor handles admission against a full queue under deadline
+// pressure: it pulls the oldest queued request, and if that request's
+// deadline (or client) has already expired, answers it ErrDeadline and
+// admits req into the freed slot. A still-live pulled request is re-enqueued
+// — its position moves to the tail, an ordering perturbation that only
+// occurs under overload — and req is rejected.
+func (b *Batcher) shedExpiredFor(req *request) bool {
+	select {
+	case oldest := <-b.queue:
+		if oldest.ctx.Err() != nil {
+			oldest.resp <- response{err: shedError(oldest.ctx)}
+			b.count(func() { b.shed++ })
+			select {
+			case b.queue <- req:
+				return true
+			default:
+				return false
+			}
+		}
+		// Still live: put it back. The dispatcher drains this queue, so the
+		// send completes; baseCtx guards shutdown.
+		select {
+		case b.queue <- oldest:
+		case <-b.baseCtx.Done():
+			oldest.resp <- response{err: ErrClosed}
+		}
+	default:
+	}
+	return false
+}
+
+// shedError translates an expired queued request's ctx state into the error
+// its client sees: a deadline expiry is ErrDeadline (504), a client
+// disconnect stays a bare ctx error (408).
+func shedError(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return ErrDeadline
+	}
+	return ctx.Err()
+}
+
+// Close stops admission, lets queued requests and in-flight batches drain
+// for up to the configured drain timeout, then cancels whatever remains and
+// fails still-queued requests with ErrClosed. Idempotent.
 func (b *Batcher) Close() {
+	b.draining.Store(true)
+	if b.drain > 0 {
+		deadline := time.Now().Add(b.drain)
+		for time.Now().Before(deadline) {
+			if len(b.queue) == 0 && b.active.Load() == 0 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
 	b.cancel()
 	b.wg.Wait()
 	for {
@@ -148,11 +267,48 @@ func (b *Batcher) Stats() BatchStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return BatchStats{
-		Batches:     b.batches,
-		Items:       b.items,
-		MaxObserved: b.maxObserved,
-		Rejected:    b.rejected,
+		Batches:         b.batches,
+		Items:           b.items,
+		MaxObserved:     b.maxObserved,
+		Rejected:        b.rejected,
+		Shed:            b.shed,
+		Panics:          b.panics,
+		EstimatedWaitNS: int64(b.estimatedWaitLocked()),
 	}
+}
+
+// EstimatedWait predicts how long a newly admitted request would wait:
+// the number of batches ahead of it (live queue depth plus its own) times
+// the observed batch latency. Zero until a first batch has been measured.
+func (b *Batcher) EstimatedWait() time.Duration {
+	return b.estimatedWait(len(b.queue))
+}
+
+func (b *Batcher) estimatedWaitLocked() time.Duration { return b.estimatedWait(len(b.queue)) }
+
+func (b *Batcher) estimatedWait(depth int) time.Duration {
+	ewma := time.Duration(b.ewmaNanos.Load())
+	if ewma <= 0 {
+		return 0
+	}
+	batchesAhead := depth/b.maxBatch + 1
+	return time.Duration(batchesAhead) * ewma
+}
+
+// RetryAfterSeconds derives a Retry-After header value from the live queue
+// depth and the observed batch latency, floored at 1 second.
+func (b *Batcher) RetryAfterSeconds() int {
+	secs := int(math.Ceil(b.EstimatedWait().Seconds()))
+	if secs < 1 {
+		return 1
+	}
+	return secs
+}
+
+func (b *Batcher) count(fn func()) {
+	b.mu.Lock()
+	fn()
+	b.mu.Unlock()
 }
 
 func (b *Batcher) dispatch() {
@@ -164,9 +320,14 @@ func (b *Batcher) dispatch() {
 		case <-b.baseCtx.Done():
 			return
 		}
+		// From here until runBatch finishes, the batch counts as active —
+		// the drain loop in Close must not conclude while a pulled request
+		// is in limbo between queue and runner.
+		b.active.Add(1)
 		sess, err := b.pool.Acquire(b.baseCtx)
 		if err != nil {
 			first.resp <- response{err: ErrClosed}
+			b.active.Add(-1)
 			continue
 		}
 		batch := b.collect(first)
@@ -209,14 +370,18 @@ func (b *Batcher) collect(first *request) []*request {
 }
 
 // runBatch executes one micro-batch on an acquired session and distributes
-// per-request results. Requests whose client vanished while queued are
-// answered with their ctx error and dropped before execution.
+// per-request results. Requests whose client vanished or whose deadline
+// expired while queued are answered and dropped before execution. A batch
+// that panics fails only its own requests: the quarantined session is
+// discarded from the pool (a replacement is created on demand) and the
+// failure is reported to the OnBatchDone callback for circuit breaking.
 func (b *Batcher) runBatch(sess *core.Session, reqs []*request) {
 	defer b.wg.Done()
+	defer b.active.Add(-1)
 	live := make([]*request, 0, len(reqs))
 	for _, r := range reqs {
 		if err := r.ctx.Err(); err != nil {
-			r.resp <- response{err: err}
+			r.resp <- response{err: shedError(r.ctx)}
 			continue
 		}
 		live = append(live, r)
@@ -239,11 +404,30 @@ func (b *Batcher) runBatch(sess *core.Session, reqs []*request) {
 	for i, r := range live {
 		inputs[i] = r.input
 	}
-	results, err := sess.RunBatch(ctx, inputs)
+	var results [][]*tensor.Tensor
+	var err error
+	start := time.Now()
+	if err = faults.Fire(faults.SiteBatcherDispatch, b.model); err == nil {
+		results, err = sess.RunBatch(ctx, inputs)
+	}
+	elapsed := time.Since(start)
 	stop()
-	// RunBatch results are deep copies, so the session can serve the next
-	// batch before responses are delivered.
-	b.pool.Release(sess)
+
+	// Panic isolation: a panicked session's arena may hold partial writes —
+	// quarantine it out of the pool instead of recycling it. Everything else
+	// goes back; RunBatch results are deep copies, so the session can serve
+	// the next batch before responses are delivered.
+	var pe *core.ExecPanicError
+	if errors.As(err, &pe) || sess.Corrupted() {
+		b.pool.Discard(sess)
+		b.count(func() { b.panics++ })
+	} else {
+		b.pool.Release(sess)
+	}
+	b.observeLatency(elapsed)
+	if b.onResult != nil {
+		b.onResult(execFailure(err))
+	}
 
 	done := len(live)
 	if err != nil {
@@ -254,7 +438,7 @@ func (b *Batcher) runBatch(sess *core.Session, reqs []*request) {
 			// clients get real results, the rest the error.
 			done = be.Completed
 		}
-		if b.baseCtx.Err() != nil {
+		if b.baseCtx.Err() != nil && errors.Is(err, context.Canceled) {
 			// The cancellation came from shutdown, not from the clients:
 			// live callers should see "server closed", not a bare ctx error.
 			err = ErrClosed
@@ -264,9 +448,43 @@ func (b *Batcher) runBatch(sess *core.Session, reqs []*request) {
 		if i < done {
 			r.resp <- response{outs: results[i]}
 		} else {
-			r.resp <- response{err: err}
+			r.resp <- response{err: perRequestError(r.ctx, err)}
 		}
 	}
+}
+
+// perRequestError specializes a batch-wide failure for one member request:
+// a member whose own deadline expired reports ErrDeadline regardless of why
+// the batch as a whole stopped.
+func perRequestError(ctx context.Context, batchErr error) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return ErrDeadline
+	}
+	return batchErr
+}
+
+// execFailure classifies a batch result for the circuit breaker: only
+// genuine execution failures count, not client-caused aborts or shutdown.
+func execFailure(err error) error {
+	switch {
+	case err == nil,
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, ErrClosed):
+		return nil
+	}
+	return err
+}
+
+// observeLatency folds one batch execution time into the EWMA (α = 0.2)
+// that backs deadline admission and Retry-After.
+func (b *Batcher) observeLatency(d time.Duration) {
+	old := b.ewmaNanos.Load()
+	if old == 0 {
+		b.ewmaNanos.Store(int64(d))
+		return
+	}
+	b.ewmaNanos.Store(old + (int64(d)-old)/5)
 }
 
 // batchContext derives the execution context for one micro-batch: it cancels

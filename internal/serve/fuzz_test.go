@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/models"
+)
+
+// FuzzInferDecode hammers the infer-request decode path — JSON unmarshal
+// plus requestTensor validation — with arbitrary bytes. The contract: never
+// panic, never allocate proportionally to attacker-claimed shapes, and
+// return exactly one of (tensor, error). CI runs the seed corpus; run
+// `go test -fuzz FuzzInferDecode ./internal/serve` locally to explore.
+func FuzzInferDecode(f *testing.F) {
+	mod, err := core.Compile(models.TinyCNN(1), machine.IntelSkylakeC5(), core.Options{
+		Level: core.OptTransformElim, Threads: 1, Backend: machine.BackendSerial,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(mod.Close)
+
+	f.Add([]byte(`{"inputs":[{"name":"input","shape":[1,3,32,32],"datatype":"FP32","data":[0]}]}`))
+	f.Add([]byte(`{"inputs":[`))
+	f.Add([]byte(`{"inputs":[]}`))
+	f.Add([]byte(`{"inputs":[{},{}]}`))
+	f.Add([]byte(`{"inputs":[{"shape":[1000000000,3],"data":[1]}]}`))
+	f.Add([]byte(`{"inputs":[{"shape":[-1,-3,-32,-32],"datatype":"FP32","data":[]}]}`))
+	f.Add([]byte(`{"inputs":[{"shape":[1,3,32,32],"datatype":"INT8","data":[1]}]}`))
+	f.Add([]byte(`{"id":"x","inputs":[{"name":"input","shape":[1,3,32,32],"datatype":"FP32"}]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req InferRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return // the HTTP layer answers 400; nothing further to validate
+		}
+		in, err := requestTensor(mod, &req)
+		if (in == nil) == (err == nil) {
+			t.Fatalf("requestTensor: tensor=%v err=%v — want exactly one", in, err)
+		}
+	})
+}

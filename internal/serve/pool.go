@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 )
 
 // SessionPool is a bounded, lazily grown pool of core.Sessions over one
@@ -31,10 +32,11 @@ type SessionPool struct {
 	idle chan *core.Session
 
 	mu       sync.Mutex
-	sessions []*core.Session // every session ever created, for stats
+	sessions []*core.Session // every live session, for stats
 
 	acquires atomic.Uint64
 	waits    atomic.Uint64
+	discards atomic.Uint64
 }
 
 // defaultPoolSize derives the session-pool bound from the module's
@@ -82,6 +84,9 @@ func NewSessionPool(mod *core.Module, max int) (*SessionPool, error) {
 // handed back with Release.
 func (p *SessionPool) Acquire(ctx context.Context) (*core.Session, error) {
 	p.acquires.Add(1)
+	if err := faults.Fire(faults.SitePoolAcquire, p.mod.Graph.Name); err != nil {
+		return nil, err
+	}
 	select {
 	case s := <-p.idle:
 		return s, nil
@@ -122,6 +127,29 @@ func (p *SessionPool) Release(s *core.Session) {
 	}
 }
 
+// Discard removes an acquired session from the pool instead of recycling it
+// — the quarantine path for sessions whose execution panicked and whose
+// arena may hold partial writes. The slot it occupied frees up: the next
+// Acquire that misses the idle list grows a fresh replacement under the same
+// bound. Callers that block in Acquire while the pool is exhausted are not
+// woken by Discard; that is fine here because the batcher's single
+// dispatcher goroutine is the only Acquire caller, so no one can be waiting
+// while it holds the session it discards.
+func (p *SessionPool) Discard(s *core.Session) {
+	if s == nil {
+		return
+	}
+	p.discards.Add(1)
+	p.mu.Lock()
+	for i, have := range p.sessions {
+		if have == s {
+			p.sessions = append(p.sessions[:i], p.sessions[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
 // PoolStats is a snapshot of the pool and of the work its sessions have
 // executed (aggregated core.SessionStats).
 type PoolStats struct {
@@ -135,6 +163,8 @@ type PoolStats struct {
 	// signal to grow the pool (or add machines).
 	Acquires uint64 `json:"acquires"`
 	Waits    uint64 `json:"waits"`
+	// Discards counts sessions quarantined out of the pool after a panic.
+	Discards uint64 `json:"discards"`
 	// Runs/Items/Busy aggregate the per-session work counters.
 	Runs  uint64        `json:"runs"`
 	Items uint64        `json:"items"`
@@ -157,6 +187,7 @@ func (p *SessionPool) Stats() PoolStats {
 		Idle:     len(p.idle),
 		Acquires: p.acquires.Load(),
 		Waits:    p.waits.Load(),
+		Discards: p.discards.Load(),
 	}
 	for _, s := range sessions {
 		ss := s.Stats()

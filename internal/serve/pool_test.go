@@ -138,7 +138,7 @@ func TestBatcherClosedRejects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := NewBatcher(p, 4, NoLatency, 4)
+	b := NewBatcher("test", p, Config{MaxBatch: 4, MaxLatency: NoLatency, QueueDepth: 4})
 	b.Close()
 	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
 	if _, err := b.Do(context.Background(), in); !errors.Is(err, ErrClosed) {

@@ -4,10 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/tensor"
 )
 
@@ -45,6 +49,27 @@ const (
 	StateUnloaded ModelState = "unloaded"
 	// StateFailed: the last Load failed (see ModelStatus.Reason).
 	StateFailed ModelState = "failed"
+	// StateDegraded: loaded, but the model's circuit breaker is open after
+	// repeated execution failures — only probe traffic is admitted. This is
+	// a reported state (Index, StateOf), not a stored one: the entry stays
+	// StateReady and recovers without a lifecycle transition.
+	StateDegraded ModelState = "degraded"
+)
+
+// HealthState is the server-wide health state machine reported by
+// /v2/health/ready.
+type HealthState string
+
+const (
+	// HealthReady: serving normally.
+	HealthReady HealthState = "ready"
+	// HealthDegraded: serving, but at least one loaded model's circuit
+	// breaker is open. Healthy co-hosted models are unaffected.
+	HealthDegraded HealthState = "degraded"
+	// HealthDraining: admission stopped, in-flight work finishing.
+	HealthDraining HealthState = "draining"
+	// HealthClosed: shut down.
+	HealthClosed HealthState = "closed"
 )
 
 // ModelSource provides compiled modules by name — typically a repository
@@ -98,6 +123,10 @@ type entry struct {
 	ownsMod bool
 	pool    *SessionPool
 	batcher *Batcher
+	// breaker is the model's circuit breaker (nil when disabled). Set while
+	// loading and immutable until teardown, so it may be used without
+	// holding Registry.mu once read under it.
+	breaker *Breaker
 	cfg     Config
 	// lastUsed is the registry clock value of the most recent request —
 	// the LRU eviction key. inflight counts requests currently inside
@@ -123,6 +152,7 @@ type Registry struct {
 	clock     uint64
 	reserved  int
 	evictions uint64
+	draining  bool
 	closed    bool
 }
 
@@ -245,7 +275,7 @@ func (r *Registry) Load(name string) error {
 			return err
 		}
 		var err error
-		mod, err = r.source.Load(name, r.cfg.LoadOptions)
+		mod, err = r.sourceLoad(name)
 		if err != nil {
 			err = fmt.Errorf("serve: load model %q: %w", name, err)
 			r.failLoad(e, nil, false, err)
@@ -270,19 +300,55 @@ func (r *Registry) Load(name string) error {
 		r.failLoad(e, mod, owns, err)
 		return err
 	}
-	batcher := NewBatcher(pool, cfg.MaxBatch, cfg.MaxLatency, cfg.QueueDepth)
+	batcher := NewBatcher(name, pool, cfg)
+	var breaker *Breaker
+	if cfg.BreakerThreshold > 0 {
+		breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown)
+		// The batcher reports each batch's execution outcome; panics and
+		// executor errors count toward tripping, client aborts do not.
+		batcher.OnBatchDone(breaker.Record)
+	}
 
 	r.mu.Lock()
 	e.mod = mod
 	e.ownsMod = e.ownsMod || owns
 	e.pool = pool
 	e.batcher = batcher
+	e.breaker = breaker
 	e.reserved = need
 	e.state = StateReady
 	r.clock++
 	e.lastUsed = r.clock
 	r.mu.Unlock()
 	return nil
+}
+
+// sourceLoad pulls one model from the source, retrying transient failures —
+// torn reads, interrupted I/O — with doubling backoff. Deterministic
+// failures (missing bundle, permission, a bundle that is simply invalid) are
+// not retried; artifact.Retryable draws the line. The fault-injection site
+// fires inside the loop, so injected transient faults exercise the retry
+// path end to end.
+func (r *Registry) sourceLoad(name string) (*core.Module, error) {
+	const attempts = 3
+	backoff := 25 * time.Millisecond
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err = faults.Fire(faults.SiteRegistryLoad, name); err == nil {
+			var mod *core.Module
+			if mod, err = r.source.Load(name, r.cfg.LoadOptions); err == nil {
+				return mod, nil
+			}
+		}
+		if !artifact.Retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("serve: %d attempts failed, last: %w", attempts, err)
 }
 
 // failLoad records a load failure and releases what the attempt acquired.
@@ -346,6 +412,7 @@ func (r *Registry) teardown(e *entry, evicted bool) {
 	e.reserved = 0
 	e.pool = nil
 	e.batcher = nil
+	e.breaker = nil
 	if owns {
 		e.mod = nil
 		e.ownsMod = false
@@ -408,6 +475,10 @@ func (r *Registry) Module(name string) (*core.Module, error) {
 // requests, atomically with marking them unloading.
 func (r *Registry) Infer(ctx context.Context, name string, in *tensor.Tensor) ([]*tensor.Tensor, error) {
 	r.mu.Lock()
+	if r.draining || r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
 	e, ok := r.models[name]
 	if !ok {
 		r.mu.Unlock()
@@ -421,13 +492,86 @@ func (r *Registry) Infer(ctx context.Context, name string, in *tensor.Tensor) ([
 	e.inflight++
 	r.clock++
 	e.lastUsed = r.clock
-	b := e.batcher
+	b, br := e.batcher, e.breaker
 	r.mu.Unlock()
-	outs, err := b.Do(ctx, in)
+	var outs []*tensor.Tensor
+	var err error
+	if br != nil && !br.Allow() {
+		err = fmt.Errorf("%w: %q (circuit breaker open)", ErrModelDegraded, name)
+	} else {
+		outs, err = b.Do(ctx, in)
+	}
 	r.mu.Lock()
 	e.inflight--
 	r.mu.Unlock()
 	return outs, err
+}
+
+// Drain stops admission registry-wide: Infer refuses new requests while
+// in-flight ones run to completion. Loaded models stay loaded (Close tears
+// them down). Idempotent.
+func (r *Registry) Drain() {
+	r.mu.Lock()
+	r.draining = true
+	r.mu.Unlock()
+}
+
+// Health reduces the registry to the server-wide health state machine:
+// draining/closed dominate; otherwise any circuit-broken loaded model makes
+// the whole server report degraded (it still serves the healthy ones).
+func (r *Registry) Health() HealthState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case r.closed:
+		return HealthClosed
+	case r.draining:
+		return HealthDraining
+	}
+	for _, e := range r.models {
+		if e.state == StateReady && e.breaker != nil && e.breaker.Degraded() {
+			return HealthDegraded
+		}
+	}
+	return HealthReady
+}
+
+// StateOf reports one model's lifecycle state, surfacing StateDegraded for
+// loaded models whose circuit breaker is open.
+func (r *Registry) StateOf(name string) (ModelState, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.models[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	if e.state == StateReady && e.breaker != nil && e.breaker.Degraded() {
+		return StateDegraded, nil
+	}
+	return e.state, nil
+}
+
+// RetryAfterSeconds derives a Retry-After value for one model's 429/503
+// responses: the larger of the batcher's queue-based wait estimate and the
+// breaker's remaining cooldown, floored at 1 second.
+func (r *Registry) RetryAfterSeconds(name string) int {
+	r.mu.Lock()
+	var b *Batcher
+	var br *Breaker
+	if e, ok := r.models[name]; ok {
+		b, br = e.batcher, e.breaker
+	}
+	r.mu.Unlock()
+	secs := 1
+	if b != nil {
+		secs = b.RetryAfterSeconds()
+	}
+	if br != nil {
+		if c := int(math.Ceil(br.RetryAfter().Seconds())); c > secs {
+			secs = c
+		}
+	}
+	return secs
 }
 
 // ModelStatus is one model's repository-index row.
@@ -456,10 +600,14 @@ func (r *Registry) Index() []ModelStatus {
 	defer r.mu.Unlock()
 	idx := make([]ModelStatus, 0, len(r.models))
 	for _, e := range r.models {
+		state := e.state
+		if state == StateReady && e.breaker != nil && e.breaker.Degraded() {
+			state = StateDegraded
+		}
 		st := ModelStatus{
 			Name:               e.name,
-			State:              string(e.state),
-			Ready:              e.state == StateReady,
+			State:              string(state),
+			Ready:              state == StateReady,
 			ArenaReservedBytes: e.reserved,
 			Inflight:           e.inflight,
 		}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 )
 
 // BundleExt is the artifact-bundle filename extension a repository directory
@@ -65,7 +66,9 @@ func (d *DirSource) Load(name string, opts core.Options) (*core.Module, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return core.LoadBundle(f, d.Resolve, opts)
+	// The fault site wraps the byte stream, so injected torn reads exercise
+	// the same truncation path a bundle observed mid-write would take.
+	return core.LoadBundle(faults.WrapReader(faults.SiteBundleRead, name, f), d.Resolve, opts)
 }
 
 // sidecarConfig is the on-disk shape of a <name>.config.json sidecar. All
@@ -76,6 +79,12 @@ type sidecarConfig struct {
 	MaxBatch     *int     `json:"max_batch"`
 	MaxLatencyMS *float64 `json:"max_latency_ms"` // negative disables the straggler window
 	QueueDepth   *int     `json:"queue_depth"`
+	// RequestTimeoutMS is the model's default per-request deadline budget;
+	// negative disables the server-side budget.
+	RequestTimeoutMS *float64 `json:"request_timeout_ms"`
+	// MaxBodyBytes caps infer request bodies (0 derives from the input
+	// signature).
+	MaxBodyBytes *int64 `json:"max_body_bytes"`
 }
 
 // Config implements ConfigSource: per-model serving configuration from a
@@ -114,6 +123,16 @@ func (d *DirSource) Config(name string) (Config, bool, error) {
 	}
 	if sc.QueueDepth != nil {
 		c.QueueDepth = *sc.QueueDepth
+	}
+	if sc.RequestTimeoutMS != nil {
+		if *sc.RequestTimeoutMS < 0 {
+			c.RequestTimeout = NoTimeout
+		} else {
+			c.RequestTimeout = time.Duration(*sc.RequestTimeoutMS * float64(time.Millisecond))
+		}
+	}
+	if sc.MaxBodyBytes != nil {
+		c.MaxBodyBytes = *sc.MaxBodyBytes
 	}
 	return c, true, nil
 }

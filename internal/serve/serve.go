@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -36,11 +38,39 @@ type Config struct {
 	// QueueDepth bounds admission; a full queue answers 429 (default
 	// 4*MaxBatch).
 	QueueDepth int
+	// RequestTimeout is the per-request deadline budget applied when the
+	// client sends no X-Request-Timeout header (default 30s; NoTimeout
+	// disables the server-side budget). The budget covers the request's
+	// whole lifetime — queueing and execution — and expiry answers 504.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps infer request bodies. The default (0) derives the
+	// cap from the model's input signature (~32 bytes of JSON per float32
+	// plus fixed headroom); oversized bodies answer 413.
+	MaxBodyBytes int64
+	// DrainTimeout bounds how long Close/Unload lets queued requests and
+	// in-flight batches finish before cancelling them (default 5s;
+	// negative drops the grace period entirely).
+	DrainTimeout time.Duration
+	// BreakerThreshold is how many batch-execution failures inside
+	// BreakerWindow trip the model's circuit breaker into the degraded
+	// state (default 3; negative disables the breaker). A degraded model
+	// answers 503 until a half-open probe succeeds.
+	BreakerThreshold int
+	// BreakerWindow is the sliding window the threshold counts failures in
+	// (default 10s).
+	BreakerWindow time.Duration
+	// BreakerCooldown is how long a tripped breaker refuses traffic before
+	// admitting a half-open probe (default 5s).
+	BreakerCooldown time.Duration
 }
 
 // NoLatency disables the straggler window: batches dispatch with whatever is
 // already queued.
 const NoLatency = time.Duration(-1)
+
+// NoTimeout disables the server-side default request deadline; requests then
+// carry a budget only when the client sets X-Request-Timeout.
+const NoTimeout = time.Duration(-1)
 
 // withDefaults resolves zero fields; it does not validate (New does), and it
 // leaves PoolSize 0 ("auto") for pool construction to resolve against the
@@ -61,6 +91,27 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 4 * c.MaxBatch
 	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout < 0 {
+		c.DrainTimeout = 0
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerWindow == 0 {
+		c.BreakerWindow = 10 * time.Second
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	return c
 }
 
@@ -75,6 +126,9 @@ func (c Config) validate() error {
 	}
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("serve: queue depth must be positive, got %d", c.QueueDepth)
+	}
+	if c.MaxBodyBytes < 0 {
+		return fmt.Errorf("serve: max body bytes must be positive, got %d", c.MaxBodyBytes)
 	}
 	return nil
 }
@@ -108,6 +162,12 @@ type Server struct {
 	repo    bool
 	mux     *http.ServeMux
 	closed  atomic.Bool
+
+	// timeout is the default per-request deadline budget (0 = none) and
+	// maxBody the explicit body cap (0 = derive from the input signature);
+	// both resolved from the server's default Config at construction.
+	timeout time.Duration
+	maxBody int64
 }
 
 // Stats aggregates one model's serving-side counters.
@@ -134,7 +194,8 @@ func New(mod *core.Module, model string, cfg Config) (*Server, error) {
 	if err := reg.AddStatic(model, mod, cfg); err != nil {
 		return nil, err
 	}
-	s := &Server{reg: reg, primary: model}
+	rc := cfg.withDefaults()
+	s := &Server{reg: reg, primary: model, timeout: rc.RequestTimeout, maxBody: rc.MaxBodyBytes}
 	s.routes()
 	return s, nil
 }
@@ -146,7 +207,8 @@ func NewRepository(reg *Registry) (*Server, error) {
 	if reg == nil {
 		return nil, errors.New("serve: nil registry")
 	}
-	s := &Server{reg: reg, repo: true}
+	rc := reg.cfg.Defaults.withDefaults()
+	s := &Server{reg: reg, repo: true, timeout: rc.RequestTimeout, maxBody: rc.MaxBodyBytes}
 	s.routes()
 	return s, nil
 }
@@ -174,9 +236,17 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// Close drains every loaded model's batcher, closes the registry and marks
-// the server unready. Modules registered via New remain open (the caller
-// owns them); repository-loaded modules are closed.
+// Drain flips the server into the draining health state: readiness goes
+// false (so load balancers stop routing here), new inference requests are
+// refused with 503, and in-flight requests run to completion. The graceful
+// shutdown sequence is Drain, then http.Server.Shutdown (which waits for
+// in-flight handlers), then Close.
+func (s *Server) Drain() { s.reg.Drain() }
+
+// Close drains every loaded model's batcher (bounded by each model's
+// DrainTimeout), closes the registry and marks the server unready. Modules
+// registered via New remain open (the caller owns them); repository-loaded
+// modules are closed.
 func (s *Server) Close() {
 	if s.closed.Swap(true) {
 		return
@@ -274,12 +344,20 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"live": true})
 }
 
+// handleReady reports the server's health state machine: "ready" (200),
+// "degraded" (200 — healthy co-hosted models still serve, but at least one
+// breaker is open so the payload flags it), "draining" and "closed" (503 —
+// stop routing traffic here).
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	state := s.reg.Health()
 	if s.closed.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
-		return
+		state = HealthClosed
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+	status := http.StatusOK
+	if state == HealthDraining || state == HealthClosed {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ready": status == http.StatusOK, "state": string(state)})
 }
 
 func (s *Server) handleServerMetadata(w http.ResponseWriter, r *http.Request) {
@@ -307,16 +385,18 @@ func (s *Server) resolveModel(w http.ResponseWriter, r *http.Request) (string, *
 	return name, mod, true
 }
 
+// handleModelReady reports one model's readiness, distinguishing degraded
+// (loaded but circuit-broken, 503 with state "degraded") from not loaded.
 func (s *Server) handleModelReady(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("model")
-	_, err := s.reg.Module(name)
+	state, err := s.reg.StateOf(name)
 	switch {
-	case err == nil:
-		writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
 	case errors.Is(err, ErrModelNotFound):
 		writeError(w, http.StatusNotFound, "%v", err)
+	case err == nil && state == StateReady:
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "state": string(state)})
 	default:
-		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "state": string(state)})
 	}
 }
 
@@ -386,6 +466,28 @@ func (s *Server) handleRepositoryUnload(w http.ResponseWriter, r *http.Request) 
 	writeJSON(w, http.StatusOK, map[string]string{"model": name, "state": string(StateUnloaded)})
 }
 
+// requestDeadline resolves one request's deadline budget: the
+// X-Request-Timeout header (a Go duration like "50ms", or a bare integer in
+// milliseconds) overrides the server default. Zero means no budget.
+func (s *Server) requestDeadline(r *http.Request) (time.Duration, error) {
+	h := r.Header.Get("X-Request-Timeout")
+	if h == "" {
+		return s.timeout, nil
+	}
+	d, err := time.ParseDuration(h)
+	if err != nil {
+		ms, merr := strconv.ParseInt(h, 10, 64)
+		if merr != nil {
+			return 0, fmt.Errorf("invalid X-Request-Timeout %q: want a duration (\"50ms\") or integer milliseconds", h)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("invalid X-Request-Timeout %q: must be positive", h)
+	}
+	return d, nil
+}
+
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	name, mod, ok := s.resolveModel(w, r)
 	if !ok {
@@ -393,8 +495,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	var req InferRequest
 	// Bound request bodies: the input tensor is fixed-size, and JSON spends
-	// at most ~32 bytes per float32; headroom covers ids and whitespace.
-	maxBody := int64(32*mod.Graph.Input.OutShape.Volume() + 64*1024)
+	// at most ~32 bytes per float32; headroom covers ids and whitespace. An
+	// explicit MaxBodyBytes overrides the derived cap.
+	maxBody := s.maxBody
+	if maxBody == 0 {
+		maxBody = int64(32*mod.Graph.Input.OutShape.Volume() + 64*1024)
+	}
 	body := http.MaxBytesReader(w, r.Body, maxBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
@@ -411,15 +517,36 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	outs, err := s.reg.Infer(r.Context(), name, in)
+	// The deadline budget covers the request's whole remaining lifetime:
+	// admission, queueing and execution all charge against it.
+	budget, err := s.requestDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx := r.Context()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, budget, ErrDeadline)
+		defer cancel()
+	}
+
+	outs, err := s.reg.Infer(ctx, name, in)
 	if err != nil {
 		switch {
+		case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+			// The budget ran out — at admission (the queue was predicted to
+			// outlast it), in the queue, or mid-execution.
+			writeError(w, http.StatusGatewayTimeout, "request deadline exceeded (budget %v): %v", budget, err)
 		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.reg.RetryAfterSeconds(name)))
 			writeError(w, http.StatusTooManyRequests, "server overloaded: %v", err)
+		case errors.Is(err, ErrModelDegraded):
+			w.Header().Set("Retry-After", strconv.Itoa(s.reg.RetryAfterSeconds(name)))
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, ErrClosed), errors.Is(err, ErrModelNotReady):
 			// The model was unloaded (or evicted) while the request was in
-			// flight; clients retry after a repository load.
+			// flight, or the server is draining; clients retry elsewhere.
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, ErrModelNotFound):
 			writeError(w, http.StatusNotFound, "%v", err)
@@ -427,6 +554,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			// The client is gone; the status is a formality.
 			writeError(w, http.StatusRequestTimeout, "request cancelled: %v", err)
 		default:
+			// Includes recovered execution panics (*core.ExecPanicError):
+			// this request's batch failed, the session was quarantined, and
+			// the model keeps serving (until its breaker says otherwise).
 			writeError(w, http.StatusInternalServerError, "inference failed: %v", err)
 		}
 		return

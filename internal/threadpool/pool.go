@@ -193,7 +193,10 @@ func NewOMPPool(n int) *OMPPool {
 func (o *OMPPool) Threads() int { return o.threads }
 
 // ParallelFor runs body over [0, n) with a freshly launched team, paying the
-// fork/join overhead that the custom pool avoids.
+// fork/join overhead that the custom pool avoids. Like Pool.ParallelFor, a
+// panic in any team member is re-raised on the caller after the region
+// completes — a kernel panic must reach the submitting goroutine's recovery
+// boundary, never kill the process from an anonymous worker.
 func (o *OMPPool) ParallelFor(n int, body func(i int)) {
 	if n <= 0 {
 		return
@@ -209,6 +212,7 @@ func (o *OMPPool) ParallelFor(n int, body func(i int)) {
 	}
 	chunk := (n + o.threads - 1) / o.threads
 	var wg sync.WaitGroup
+	var panicked atomic.Pointer[panicBox]
 	for t := 0; t < o.threads; t++ {
 		start := t * chunk
 		if start >= n {
@@ -221,12 +225,20 @@ func (o *OMPPool) ParallelFor(n int, body func(i int)) {
 		wg.Add(1)
 		go func(start, end int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &panicBox{r})
+				}
+			}()
 			for i := start; i < end; i++ {
 				body(i)
 			}
 		}(start, end)
 	}
 	wg.Wait()
+	if pv := panicked.Swap(nil); pv != nil {
+		panic(fmt.Sprintf("threadpool: panic in parallel region: %v", pv.v))
+	}
 }
 
 // Serial runs body on the calling goroutine; it is the 1-thread backend.

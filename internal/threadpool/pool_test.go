@@ -108,6 +108,33 @@ func TestPoolPanicPropagation(t *testing.T) {
 	}
 }
 
+func TestOMPPoolPanicPropagation(t *testing.T) {
+	p := NewOMPPool(4)
+	defer p.Close()
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected panic to propagate to the submitter")
+			}
+			if !strings.Contains(r.(string), "boom") {
+				t.Fatalf("panic message lost: %v", r)
+			}
+		}()
+		p.ParallelFor(100, func(i int) {
+			if i == 57 {
+				panic("boom")
+			}
+		})
+	}()
+	// The runtime must remain usable after a panic.
+	var n atomic.Int64
+	p.ParallelFor(50, func(i int) { n.Add(1) })
+	if n.Load() != 50 {
+		t.Fatalf("OMP pool broken after panic: %d", n.Load())
+	}
+}
+
 func TestPoolCloseIdempotent(t *testing.T) {
 	p := NewPool(2)
 	p.Close()

@@ -113,6 +113,55 @@ func WithQueueDepth(n int) ServeOption {
 	}
 }
 
+// WithRequestTimeout sets the default per-request deadline budget applied
+// when the client sends no X-Request-Timeout header (default 30s; 0 disables
+// the server-side budget). The budget covers the request's whole lifetime —
+// admission, queueing and execution — and expiry answers 504: a request the
+// queue is predicted to outlast is refused immediately rather than admitted
+// to time out.
+func WithRequestTimeout(d time.Duration) ServeOption {
+	return func(c *serveConfig) {
+		if d < 0 {
+			c.err = fmt.Errorf("%w: negative request timeout %v", ErrBadOption, d)
+			return
+		}
+		if d == 0 {
+			c.cfg.RequestTimeout = serve.NoTimeout
+			return
+		}
+		c.cfg.RequestTimeout = d
+	}
+}
+
+// WithDrainTimeout bounds how long Close lets queued requests and in-flight
+// batches finish before cancelling them (default 5s; 0 drops the grace
+// period).
+func WithDrainTimeout(d time.Duration) ServeOption {
+	return func(c *serveConfig) {
+		if d < 0 {
+			c.err = fmt.Errorf("%w: negative drain timeout %v", ErrBadOption, d)
+			return
+		}
+		if d == 0 {
+			d = -1 // serve.Config: negative means "no grace period"
+		}
+		c.cfg.DrainTimeout = d
+	}
+}
+
+// WithMaxBodyBytes caps infer request bodies; oversized bodies answer 413.
+// When the option is omitted the cap derives from the model's input
+// signature (~32 bytes of JSON per float32 plus fixed headroom).
+func WithMaxBodyBytes(n int64) ServeOption {
+	return func(c *serveConfig) {
+		if n <= 0 {
+			c.err = fmt.Errorf("%w: max body bytes %d (must be >= 1)", ErrBadOption, n)
+			return
+		}
+		c.cfg.MaxBodyBytes = n
+	}
+}
+
 // NewServer builds a serving stack over a compiled engine. The model name
 // is the path component clients address; "" uses the compiled graph's name.
 // Close the server when done (the engine stays open — the caller owns it).
@@ -148,12 +197,20 @@ func (s *Server) Model() string { return s.inner.Model() }
 // with request handling.
 func (s *Server) Stats() ServerStats { return s.inner.Stats() }
 
-// Close drains in-flight batches and marks the server unready. Idempotent.
+// Drain flips the server into the draining health state: readiness goes
+// false, new inference requests are refused with 503, in-flight requests run
+// to completion. Call it ahead of Close for a graceful handoff.
+func (s *Server) Drain() { s.inner.Drain() }
+
+// Close drains in-flight batches (bounded by WithDrainTimeout) and marks the
+// server unready. Idempotent.
 func (s *Server) Close() { s.inner.Close() }
 
 // Serve runs an inference server for the engine on addr until ctx is done,
-// then shuts down gracefully. It returns nil after a ctx-triggered
-// shutdown, and the listener error otherwise.
+// then shuts down gracefully: admission stops (readiness goes false, new
+// requests get 503), in-flight requests finish under the HTTP server's
+// shutdown grace, then the serving stack closes. It returns nil after a
+// ctx-triggered shutdown, and the listener error otherwise.
 func Serve(ctx context.Context, addr string, e *Engine, model string, opts ...ServeOption) error {
 	srv, err := NewServer(e, model, opts...)
 	if err != nil {
@@ -165,6 +222,7 @@ func Serve(ctx context.Context, addr string, e *Engine, model string, opts ...Se
 	go func() { errc <- hs.ListenAndServe() }()
 	select {
 	case <-ctx.Done():
+		srv.Drain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		return hs.Shutdown(shutdownCtx)
