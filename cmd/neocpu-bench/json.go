@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"repro/internal/benchkernels"
@@ -37,6 +38,11 @@ type benchEntry struct {
 	// ArenaBytes is the planned per-session arena of the compiled module a
 	// session benchmark ran against (the memory planner's footprint).
 	ArenaBytes int64 `json:"arena_bytes,omitempty"`
+	// Threads and Speedup are set on scaling/<model> entries only: the
+	// thread count the module was compiled and run with, and the ratio
+	// ns/op(threads=1) / ns/op(this entry) within the same series.
+	Threads int     `json:"threads,omitempty"`
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // benchFile is the serialized BENCH_<target>.json document. It carries no
@@ -283,6 +289,80 @@ func measureHostKernels() ([]benchEntry, error) {
 			return nil, err
 		}
 		out[len(out)-1].ArenaBytes = int64(arena)
+	}
+
+	scaling, err := scalingSeries("tiny-resnet", models.TinyResNet)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, scaling...)
+	return out, nil
+}
+
+// scalingThreadCounts is the thread axis of the scaling series: powers of
+// two up to the host's CPU count, with the CPU count itself appended when
+// it is not a power of two.
+func scalingThreadCounts() []int {
+	counts := []int{1}
+	for th := 2; th <= runtime.NumCPU(); th *= 2 {
+		counts = append(counts, th)
+	}
+	if last := counts[len(counts)-1]; last != runtime.NumCPU() {
+		counts = append(counts, runtime.NumCPU())
+	}
+	return counts
+}
+
+// scalingSeries measures intra-op thread scaling of whole-model session
+// execution: the same model recompiled at each thread count (so the
+// schedule search re-picks block sizes and parallel grain for that width)
+// and timed on the host. Entries are named scaling/<model>/threads-<n> and
+// carry the speedup over the single-thread entry of the same series — the
+// figure examples/scaling prints and CI's scaling smoke checks.
+func scalingSeries(name string, build func(uint64) *graph.Graph) ([]benchEntry, error) {
+	var out []benchEntry
+	var base float64
+	for _, th := range scalingThreadCounts() {
+		opts := core.Options{Level: core.OptGlobalSearch, Threads: th, Backend: machine.BackendPool}
+		if th == 1 {
+			opts.Backend = machine.BackendSerial
+		}
+		m, err := core.Compile(build(1), machine.IntelSkylakeC5(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("neocpu-bench: scaling/%s threads=%d: %w", name, th, err)
+		}
+		s, err := m.NewSession()
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		img := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+		img.FillRandom(3, 1)
+		ctx := context.Background()
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(ctx, img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		m.Close()
+		if r.N <= 0 || r.NsPerOp() <= 0 {
+			return nil, fmt.Errorf("neocpu-bench: scaling/%s threads=%d produced no iterations", name, th)
+		}
+		ns := float64(r.NsPerOp())
+		if th == 1 {
+			base = ns
+		}
+		out = append(out, benchEntry{
+			Name:        fmt.Sprintf("scaling/%s/threads-%d", name, th),
+			NsPerOp:     ns,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Threads:     th,
+			Speedup:     base / ns,
+		})
 	}
 	return out, nil
 }

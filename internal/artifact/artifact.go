@@ -138,6 +138,10 @@ type SchedEntry struct {
 	RegN      int    `json:"reg_n,omitempty"`
 	UnrollKer bool   `json:"unroll_ker,omitempty"`
 	Algorithm string `json:"algorithm,omitempty"`
+	// Grain is the kernel's parallel chunk size; absent (pre-grain bundles)
+	// means 1. Kept field-identical with core.PlanEntry — the two convert by
+	// direct struct conversion.
+	Grain int `json:"grain,omitempty"`
 }
 
 // LayoutRef is a serializable tensor layout.

@@ -16,9 +16,13 @@ import (
 // node outputs, padding scratch and winograd scratch to a small set of
 // shared, size-classed arena slots; and where execution was strictly
 // sequential, the plan partitions the program into dependency levels and
-// marks which levels dispatch their (mutually independent) nodes across the
-// thread pool — inter-op parallelism for branchy graphs like Inception,
-// DenseNet and SSD.
+// assigns each level a threading policy — intra-op (nodes sequential, each
+// kernel spreading its chunked grain loop across the pool), inter-op (one
+// pool lane per independent node, kernels serial), or hybrid (one goroutine
+// per node, each handed the pool-backed ParallelFor; the first to reach a
+// parallel region claims the pool and its siblings degrade to inline serial
+// loops) — so branchy graphs like Inception, DenseNet and SSD spend the
+// thread budget where the compile-time cost signal says it pays.
 
 // PlanStats summarizes a compiled execution plan. It is the metadata the
 // serving layer sizes pools from and the benchmarks report.
@@ -33,10 +37,13 @@ type PlanStats struct {
 	ArenaBytes      int `json:"arena_bytes"`
 	NaiveArenaBytes int `json:"naive_arena_bytes"`
 	// Levels counts the dependency levels of the level-synchronous schedule;
-	// InterOpLevels how many of them dispatch nodes concurrently; MaxWidth the
-	// widest level (the graph's branching factor).
+	// InterOpLevels how many of them dispatch nodes across the pool with
+	// serial kernels; HybridLevels how many run concurrent nodes that each
+	// keep the pool-backed ParallelFor; MaxWidth the widest level (the
+	// graph's branching factor).
 	Levels        int `json:"levels"`
 	InterOpLevels int `json:"inter_op_levels"`
+	HybridLevels  int `json:"hybrid_levels"`
 	MaxWidth      int `json:"max_width"`
 }
 
@@ -86,23 +93,46 @@ type planSlot struct {
 	padKey string
 }
 
+// levelPolicy is the compile-time choice of how the executor spends the
+// thread budget on one dependency level.
+type levelPolicy uint8
+
+const (
+	// policyIntra runs the level's nodes sequentially, each kernel spreading
+	// its own chunked parallel loop across the whole pool. The only policy
+	// for single-node levels, serial lanes, and DisableInterOp modules.
+	policyIntra levelPolicy = iota
+	// policyInter dispatches the level's nodes across the pool, one lane per
+	// node with serial kernels — chosen when the level holds enough
+	// comparably-weighted nodes to occupy every thread by itself.
+	policyInter
+	// policyHybrid runs each node on its own goroutine, every node handed
+	// the pool-backed ParallelFor: the first to reach a parallel region
+	// claims the pool (its kernels go wide), while concurrent siblings
+	// degrade to inline serial loops (threadpool.Pool's re-entrant
+	// ParallelFor). Chosen for levels with a few working nodes — too narrow
+	// to fill the pool inter-op, too branchy to make the siblings wait.
+	policyHybrid
+)
+
 // execPlan is the compiled execution plan: per-node buffer assignments over
-// shared slots plus the level-synchronous inter-op schedule.
+// shared slots plus the level-synchronous threading schedule.
 type execPlan struct {
 	steps []planStep
 	slots []planSlot
-	// levels holds program indices grouped by dependency depth; interOp[k]
-	// marks levels whose nodes the executor dispatches across the pool.
-	levels  [][]int
-	interOp []bool
-	stats   PlanStats
+	// levels holds program indices grouped by dependency depth; policy[k]
+	// is the threading policy the executor applies to level k.
+	levels [][]int
+	policy []levelPolicy
+	stats  PlanStats
 }
 
-// interOpBalanceCut is the compile-time inter- vs intra-op policy knob: a
-// level is dispatched inter-op only when no single node holds more than this
-// fraction of the level's work. A dominated level is better served by giving
-// the dominant kernel the whole pool (intra-op), since the stragglers would
-// idle most threads for the tail of the level.
+// interOpBalanceCut is the compile-time balance knob: a level is dispatched
+// pure inter-op (serial kernels) only when no single node holds more than
+// this fraction of the level's work. A dominated level keeps the pool with
+// the dominant kernel instead — hybrid, so stragglers still overlap on their
+// own goroutines — since serial-kernel lanes would idle most threads for the
+// tail of the level.
 const interOpBalanceCut = 0.75
 
 // physicalDims converts a logical output shape plus its assigned physical
@@ -249,9 +279,9 @@ func buildExecPlan(g *graph.Graph, program []*graph.Node, int8 bool, threads int
 	levels := lv.Levels()
 
 	p := &execPlan{
-		steps:   make([]planStep, len(program)),
-		levels:  levels,
-		interOp: make([]bool, len(levels)),
+		steps:  make([]planStep, len(program)),
+		levels: levels,
+		policy: make([]levelPolicy, len(levels)),
 	}
 
 	// Value lifetimes at level granularity: a value defined at level d and
@@ -314,7 +344,7 @@ func buildExecPlan(g *graph.Graph, program []*graph.Node, int8 bool, threads int
 		for _, id := range releaseAt[li] {
 			pool.release(id)
 		}
-		p.interOp[li] = levelInterOp(program, level, threads, backend, disableInterOp)
+		p.policy[li] = levelPolicyFor(program, level, threads, backend, disableInterOp)
 	}
 
 	p.slots = pool.slots
@@ -325,8 +355,11 @@ func buildExecPlan(g *graph.Graph, program []*graph.Node, int8 bool, threads int
 	p.stats.NaiveArenaBytes = 4 * naive
 	p.stats.Levels = len(levels)
 	for li, level := range levels {
-		if p.interOp[li] {
+		switch p.policy[li] {
+		case policyInter:
 			p.stats.InterOpLevels++
+		case policyHybrid:
+			p.stats.HybridLevels++
 		}
 		if len(level) > p.stats.MaxWidth {
 			p.stats.MaxWidth = len(level)
@@ -335,13 +368,16 @@ func buildExecPlan(g *graph.Graph, program []*graph.Node, int8 bool, threads int
 	return p
 }
 
-// levelInterOp is the compile-time policy choosing how a level spends the
-// thread budget: inter-op (one node per pool lane, kernels serial) when the
-// level holds at least two working nodes of comparable weight, intra-op
-// (nodes sequential, kernels parallel) otherwise.
-func levelInterOp(program []*graph.Node, level []int, threads int, backend machine.ThreadBackend, disable bool) bool {
+// levelPolicyFor is the compile-time policy choosing how a level spends the
+// thread budget, from the level's FLOPs-balance signal: pure inter-op (one
+// node per pool lane, kernels serial) when the level holds enough
+// comparably-weighted working nodes to occupy every thread by itself;
+// hybrid (concurrent nodes racing for the pool) when it has at least two
+// working nodes but is too narrow or too imbalanced for serial-kernel
+// lanes; intra-op (nodes sequential, kernels parallel) otherwise.
+func levelPolicyFor(program []*graph.Node, level []int, threads int, backend machine.ThreadBackend, disable bool) levelPolicy {
 	if disable || threads < 2 || backend == machine.BackendSerial {
-		return false
+		return policyIntra
 	}
 	working := 0
 	var total, max float64
@@ -356,7 +392,13 @@ func levelInterOp(program []*graph.Node, level []int, threads int, backend machi
 			max = c
 		}
 	}
-	return working >= 2 && max <= interOpBalanceCut*total
+	if working < 2 {
+		return policyIntra
+	}
+	if working >= threads && max <= interOpBalanceCut*total {
+		return policyInter
+	}
+	return policyHybrid
 }
 
 // validate checks the plan's structural invariants against an independently

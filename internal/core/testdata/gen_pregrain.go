@@ -1,0 +1,53 @@
+//go:build ignore
+
+// gen_pregrain.go produced the pre-grain compatibility fixtures checked in
+// next to it: a plan file and an artifact bundle saved by the compiler
+// BEFORE the schedule grain field existed. The fixtures are frozen — they
+// exist so plan/bundle loading keeps accepting artifacts from older builds
+// (absent grain must mean serial-equivalent grain 1) — and this generator is
+// kept only as provenance; re-running it against a current build would
+// produce post-grain artifacts and defeat the fixtures' purpose.
+//
+// Usage (from the repo root, at the pre-grain revision):
+//
+//	go run internal/core/testdata/gen_pregrain.go
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/models"
+)
+
+func main() {
+	g, err := models.BuildAny("tiny-resnet", 1)
+	if err != nil {
+		panic(err)
+	}
+	m, err := core.Compile(g, machine.IntelSkylakeC5(), core.Options{
+		Level: core.OptGlobalSearch, Threads: 1, Backend: machine.BackendSerial,
+	})
+	if err != nil {
+		panic(err)
+	}
+	plan, err := os.Create("internal/core/testdata/pregrain_tiny-resnet.plan.json")
+	if err != nil {
+		panic(err)
+	}
+	defer plan.Close()
+	if err := m.SavePlan(plan); err != nil {
+		panic(err)
+	}
+	bundle, err := os.Create("internal/core/testdata/pregrain_tiny-resnet.bundle")
+	if err != nil {
+		panic(err)
+	}
+	defer bundle.Close()
+	if err := m.SaveBundle(bundle); err != nil {
+		panic(err)
+	}
+	fmt.Println("wrote pregrain fixtures")
+}

@@ -198,7 +198,7 @@ func padNCHWc(in *tensor.Tensor, padH, padW int, scratch *tensor.Tensor) *tensor
 // The input must be NCHW[icb]c and the weight OIHW[icb]i[ocb]o with icb =
 // sched ic_bn and ocb = sched oc_bn.
 func Conv2DNCHWc(in, weight *tensor.Tensor, attrs Conv2DAttrs, icb, ocb, regN int, unrollKer bool, epi Epilogue, pf ParallelFor) *tensor.Tensor {
-	return Conv2DNCHWcInto(nil, nil, in, weight, attrs, icb, ocb, regN, unrollKer, epi, pf)
+	return Conv2DNCHWcInto(nil, nil, in, weight, attrs, icb, ocb, regN, unrollKer, 1, epi, pf)
 }
 
 // PaddedShapeNCHWc returns the buffer shape Conv2DNCHWcInto needs for its
@@ -214,8 +214,11 @@ func PaddedShapeNCHWc(inShape []int, attrs Conv2DAttrs) []int {
 // Conv2DNCHWcInto is Conv2DNCHWc writing into caller-provided buffers: dst
 // receives the output and padScratch (sized per PaddedShapeNCHWc, zero-filled
 // at allocation) holds the explicitly padded input. Either may be nil, in
-// which case it is allocated.
-func Conv2DNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor.Tensor, attrs Conv2DAttrs, icb, ocb, regN int, unrollKer bool, epi Epilogue, pf ParallelFor) *tensor.Tensor {
+// which case it is allocated. grain is the schedule's parallel chunk size —
+// how many (batch, oc.outer, oh) rows one parallel work item covers (<=1
+// means one row per item, the historical split); any grain computes
+// bit-identical output.
+func Conv2DNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor.Tensor, attrs Conv2DAttrs, icb, ocb, regN int, unrollKer bool, grain int, epi Epilogue, pf ParallelFor) *tensor.Tensor {
 	if in.Layout.Kind != tensor.LayoutNCHWc || in.Layout.BlockC != icb {
 		panic(fmt.Sprintf("ops: Conv2DNCHWc expects NCHW%dc input, got %v", icb, in.Layout))
 	}
@@ -261,14 +264,12 @@ func Conv2DNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor.Tensor, 
 			pw, ow, need, attrs.StrideW, kw))
 	}
 
-	// One parallel unit per (batch, oc.outer, oh) row: the disjoint OFMAP
-	// chunks of Algorithm 1 line 8.
-	pf(n*ocOuter*oh, func(unit int) {
-		y := unit % oh
-		rest := unit / oh
-		co := rest % ocOuter
-		b := rest / ocOuter
-
+	// One parallel unit per (batch, oc.outer, oh) row — the disjoint OFMAP
+	// chunks of Algorithm 1 line 8 — grouped `grain` rows to a work item so
+	// the accumulator-tile setup amortizes across the chunk.
+	units := n * ocOuter * oh
+	pf(Chunks(units, grain), func(ck int) {
+		lo, hi := ChunkBounds(ck, units, grain)
 		// Accumulator tile: reg_n positions × oc_bn sub-channels. In the
 		// AVX-512 realization each row is one ZMM register; the fixed-size
 		// backing array keeps the tile on the goroutine stack so the hot
@@ -280,70 +281,90 @@ func Conv2DNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor.Tensor, 
 		} else {
 			acc = make([]float32, regN*ocb)
 		}
-		wBase := co * icOuterPerG * kh * kw * icb * ocb
-		// First input channel block of this output block's group.
-		icBase := (co / ocOuterPerG) * icOuterPerG
+		for unit := lo; unit < hi; unit++ {
+			y := unit % oh
+			rest := unit / oh
+			co := rest % ocOuter
+			b := rest / ocOuter
 
-		for owo := 0; owo < ow; owo += regN {
-			tile := regN
-			if ow-owo < tile {
-				tile = ow - owo
-			}
-			for i := range acc[:tile*ocb] {
-				acc[i] = 0
-			}
+			wBase := co * icOuterPerG * kh * kw * icb * ocb
+			// First input channel block of this output block's group.
+			icBase := (co / ocOuterPerG) * icOuterPerG
 
-			for ci := 0; ci < icOuterPerG; ci++ {
-				inBase := ((b*icOuter+icBase+ci)*ph + y*attrs.StrideH) * pw * icb
-				wCI := wBase + ci*kh*kw*icb*ocb
-				if unrollKer && kh == 3 && kw == 3 {
-					conv3x3Tile(padded.Data, weight.Data, acc, inBase, wCI, pw, icb, ocb, tile, owo, attrs.StrideW)
-				} else if unrollKer && kh == 1 && kw == 1 {
-					conv1x1Tile(padded.Data, weight.Data, acc, inBase, wCI, pw, icb, ocb, tile, owo, attrs.StrideW)
-				} else {
-					for r := 0; r < kh; r++ {
-						rowOff := inBase + r*pw*icb
-						for s := 0; s < kw; s++ {
-							wRS := wCI + (r*kw+s)*icb*ocb
-							for ii := 0; ii < icb; ii++ {
-								wVec := weight.Data[wRS+ii*ocb : wRS+ii*ocb+ocb]
-								for i := 0; i < tile; i++ {
-									iv := padded.Data[rowOff+((owo+i)*attrs.StrideW+s)*icb+ii]
-									axpy(acc[i*ocb:i*ocb+ocb], wVec, iv, ocb)
-								}
+			runConvRow(padded, weight, out, acc, attrs, epi,
+				b, co, y, icOuter, icOuterPerG, ocOuter,
+				icb, ocb, regN, unrollKer, kh, kw, oh, ow, ph, pw,
+				wBase, icBase)
+		}
+	})
+	return out
+}
+
+// runConvRow computes one (batch, oc.outer, oh) output row of the blocked
+// direct template — the body of Algorithm 1's parallel loop, factored out so
+// the chunked dispatcher above can reuse one accumulator tile across a whole
+// chunk of rows.
+func runConvRow(padded, weight, out *tensor.Tensor, acc []float32, attrs Conv2DAttrs, epi Epilogue,
+	b, co, y, icOuter, icOuterPerG, ocOuter, icb, ocb, regN int, unrollKer bool,
+	kh, kw, oh, ow, ph, pw, wBase, icBase int) {
+	for owo := 0; owo < ow; owo += regN {
+		tile := regN
+		if ow-owo < tile {
+			tile = ow - owo
+		}
+		for i := range acc[:tile*ocb] {
+			acc[i] = 0
+		}
+
+		for ci := 0; ci < icOuterPerG; ci++ {
+			inBase := ((b*icOuter+icBase+ci)*ph + y*attrs.StrideH) * pw * icb
+			wCI := wBase + ci*kh*kw*icb*ocb
+			if unrollKer && kh == 3 && kw == 3 {
+				conv3x3Tile(padded.Data, weight.Data, acc, inBase, wCI, pw, icb, ocb, tile, owo, attrs.StrideW)
+			} else if unrollKer && kh == 1 && kw == 1 {
+				conv1x1Tile(padded.Data, weight.Data, acc, inBase, wCI, pw, icb, ocb, tile, owo, attrs.StrideW)
+			} else {
+				for r := 0; r < kh; r++ {
+					rowOff := inBase + r*pw*icb
+					for s := 0; s < kw; s++ {
+						wRS := wCI + (r*kw+s)*icb*ocb
+						for ii := 0; ii < icb; ii++ {
+							wVec := weight.Data[wRS+ii*ocb : wRS+ii*ocb+ocb]
+							for i := 0; i < tile; i++ {
+								iv := padded.Data[rowOff+((owo+i)*attrs.StrideW+s)*icb+ii]
+								axpy(acc[i*ocb:i*ocb+ocb], wVec, iv, ocb)
 							}
 						}
 					}
 				}
 			}
-
-			// Epilogue + store (Algorithm 1 lines 21-23, with fusion).
-			outBase := (((b*ocOuter+co)*oh+y)*ow + owo) * ocb
-			for i := 0; i < tile; i++ {
-				dst := out.Data[outBase+i*ocb : outBase+(i+1)*ocb]
-				a := acc[i*ocb : (i+1)*ocb]
-				if epi.Bias != nil {
-					bvec := epi.Bias[co*ocb : co*ocb+ocb]
-					for oi := range a {
-						a[oi] += bvec[oi]
-					}
-				}
-				if epi.Residual != nil {
-					res := epi.Residual.Data[outBase+i*ocb : outBase+(i+1)*ocb]
-					for oi := range a {
-						a[oi] += res[oi]
-					}
-				}
-				if epi.ReLU {
-					for oi := range a {
-						a[oi] = relu32(a[oi])
-					}
-				}
-				copy(dst, a)
-			}
 		}
-	})
-	return out
+
+		// Epilogue + store (Algorithm 1 lines 21-23, with fusion).
+		outBase := (((b*ocOuter+co)*oh+y)*ow + owo) * ocb
+		for i := 0; i < tile; i++ {
+			dst := out.Data[outBase+i*ocb : outBase+(i+1)*ocb]
+			a := acc[i*ocb : (i+1)*ocb]
+			if epi.Bias != nil {
+				bvec := epi.Bias[co*ocb : co*ocb+ocb]
+				for oi := range a {
+					a[oi] += bvec[oi]
+				}
+			}
+			if epi.Residual != nil {
+				res := epi.Residual.Data[outBase+i*ocb : outBase+(i+1)*ocb]
+				for oi := range a {
+					a[oi] += res[oi]
+				}
+			}
+			if epi.ReLU {
+				for oi := range a {
+					a[oi] = relu32(a[oi])
+				}
+			}
+			copy(dst, a)
+		}
+	}
 }
 
 // axpy computes a[:ocb] += x * w[:ocb], the direct template's innermost FMA.

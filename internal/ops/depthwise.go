@@ -25,14 +25,16 @@ import (
 // input with OIHW[1]i[bn]o weights, register-blocking reg_n output positions
 // exactly like the dense direct template.
 func Conv2DDepthwiseNCHWc(in, weight *tensor.Tensor, attrs Conv2DAttrs, bn, regN int, unrollKer bool, epi Epilogue, pf ParallelFor) *tensor.Tensor {
-	return Conv2DDepthwiseNCHWcInto(nil, nil, in, weight, attrs, bn, regN, unrollKer, epi, pf)
+	return Conv2DDepthwiseNCHWcInto(nil, nil, in, weight, attrs, bn, regN, unrollKer, 1, epi, pf)
 }
 
 // Conv2DDepthwiseNCHWcInto is Conv2DDepthwiseNCHWc writing into
 // caller-provided buffers: dst receives the output and padScratch (sized per
 // PaddedShapeNCHWc, zero-filled at allocation) holds the explicitly padded
-// input. Either may be nil, in which case it is allocated.
-func Conv2DDepthwiseNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor.Tensor, attrs Conv2DAttrs, bn, regN int, unrollKer bool, epi Epilogue, pf ParallelFor) *tensor.Tensor {
+// input. Either may be nil, in which case it is allocated. grain is the
+// schedule's parallel chunk size over (batch, channel-block, out-row) units
+// (<=1 means one row per work item); every grain is bit-identical.
+func Conv2DDepthwiseNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor.Tensor, attrs Conv2DAttrs, bn, regN int, unrollKer bool, grain int, epi Epilogue, pf ParallelFor) *tensor.Tensor {
 	if in.Layout.Kind != tensor.LayoutNCHWc || in.Layout.BlockC != bn {
 		panic(fmt.Sprintf("ops: Conv2DDepthwiseNCHWc expects NCHW%dc input, got %v", bn, in.Layout))
 	}
@@ -67,12 +69,9 @@ func Conv2DDepthwiseNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor
 			pw, ow, need, attrs.StrideW, kw))
 	}
 
-	pf(n*cOuter*oh, func(unit int) {
-		y := unit % oh
-		rest := unit / oh
-		co := rest % cOuter
-		b := rest / cOuter
-
+	units := n * cOuter * oh
+	pf(Chunks(units, grain), func(ck int) {
+		lo, hi := ChunkBounds(ck, units, grain)
 		var accArr [1024]float32
 		var acc []float32
 		if regN*bn <= len(accArr) {
@@ -80,59 +79,73 @@ func Conv2DDepthwiseNCHWcInto(dst, padScratch *tensor.Tensor, in, weight *tensor
 		} else {
 			acc = make([]float32, regN*bn)
 		}
-		wBase := co * kh * kw * bn
-		rowBase := ((b*cOuter+co)*ph + y*attrs.StrideH) * pw * bn
-
-		for owo := 0; owo < ow; owo += regN {
-			tile := regN
-			if ow-owo < tile {
-				tile = ow - owo
-			}
-			for i := range acc[:tile*bn] {
-				acc[i] = 0
-			}
-
-			if unrollKer && kh == 3 && kw == 3 {
-				dw3x3Tile(padded.Data, weight.Data, acc, rowBase, wBase, pw, bn, tile, owo, attrs.StrideW)
-			} else {
-				for r := 0; r < kh; r++ {
-					rowOff := rowBase + r*pw*bn
-					for s := 0; s < kw; s++ {
-						wVec := weight.Data[wBase+(r*kw+s)*bn : wBase+(r*kw+s)*bn+bn]
-						for i := 0; i < tile; i++ {
-							iv := padded.Data[rowOff+((owo+i)*attrs.StrideW+s)*bn : rowOff+((owo+i)*attrs.StrideW+s)*bn+bn]
-							dwmac(acc[i*bn:i*bn+bn], iv, wVec, bn)
-						}
-					}
-				}
-			}
-
-			outBase := (((b*cOuter+co)*oh+y)*ow + owo) * bn
-			for i := 0; i < tile; i++ {
-				dst := out.Data[outBase+i*bn : outBase+(i+1)*bn]
-				a := acc[i*bn : (i+1)*bn]
-				if epi.Bias != nil {
-					bvec := epi.Bias[co*bn : co*bn+bn]
-					for v := range a {
-						a[v] += bvec[v]
-					}
-				}
-				if epi.Residual != nil {
-					res := epi.Residual.Data[outBase+i*bn : outBase+(i+1)*bn]
-					for v := range a {
-						a[v] += res[v]
-					}
-				}
-				if epi.ReLU {
-					for v := range a {
-						a[v] = relu32(a[v])
-					}
-				}
-				copy(dst, a)
-			}
+		for unit := lo; unit < hi; unit++ {
+			y := unit % oh
+			rest := unit / oh
+			co := rest % cOuter
+			b := rest / cOuter
+			wBase := co * kh * kw * bn
+			rowBase := ((b*cOuter+co)*ph + y*attrs.StrideH) * pw * bn
+			dwConvRow(padded, weight, out, acc, attrs, epi,
+				b, co, y, cOuter, bn, regN, unrollKer, kh, kw, oh, ow, pw, wBase, rowBase)
 		}
 	})
 	return out
+}
+
+// dwConvRow computes one (batch, channel-block, out-row) band of the blocked
+// depthwise kernel. Factored out of the parallel dispatch so a chunked work
+// item reuses one accumulator tile across its rows.
+func dwConvRow(padded, weight, out *tensor.Tensor, acc []float32, attrs Conv2DAttrs, epi Epilogue,
+	b, co, y, cOuter, bn, regN int, unrollKer bool, kh, kw, oh, ow, pw, wBase, rowBase int) {
+	for owo := 0; owo < ow; owo += regN {
+		tile := regN
+		if ow-owo < tile {
+			tile = ow - owo
+		}
+		for i := range acc[:tile*bn] {
+			acc[i] = 0
+		}
+
+		if unrollKer && kh == 3 && kw == 3 {
+			dw3x3Tile(padded.Data, weight.Data, acc, rowBase, wBase, pw, bn, tile, owo, attrs.StrideW)
+		} else {
+			for r := 0; r < kh; r++ {
+				rowOff := rowBase + r*pw*bn
+				for s := 0; s < kw; s++ {
+					wVec := weight.Data[wBase+(r*kw+s)*bn : wBase+(r*kw+s)*bn+bn]
+					for i := 0; i < tile; i++ {
+						iv := padded.Data[rowOff+((owo+i)*attrs.StrideW+s)*bn : rowOff+((owo+i)*attrs.StrideW+s)*bn+bn]
+						dwmac(acc[i*bn:i*bn+bn], iv, wVec, bn)
+					}
+				}
+			}
+		}
+
+		outBase := (((b*cOuter+co)*oh+y)*ow + owo) * bn
+		for i := 0; i < tile; i++ {
+			dst := out.Data[outBase+i*bn : outBase+(i+1)*bn]
+			a := acc[i*bn : (i+1)*bn]
+			if epi.Bias != nil {
+				bvec := epi.Bias[co*bn : co*bn+bn]
+				for v := range a {
+					a[v] += bvec[v]
+				}
+			}
+			if epi.Residual != nil {
+				res := epi.Residual.Data[outBase+i*bn : outBase+(i+1)*bn]
+				for v := range a {
+					a[v] += res[v]
+				}
+			}
+			if epi.ReLU {
+				for v := range a {
+					a[v] = relu32(a[v])
+				}
+			}
+			copy(dst, a)
+		}
+	}
 }
 
 // dwmac computes a[:bn] += x[:bn] * w[:bn] lane-wise — the depthwise

@@ -26,6 +26,40 @@ func Serial(n int, body func(i int)) {
 	}
 }
 
+// Chunks and ChunkBounds implement the kernels' searched parallel grain: a
+// parallel region over `units` work units is dispatched as Chunks(units,
+// grain) contiguous items of at most `grain` units each, and each item
+// iterates its ChunkBounds range on one goroutine. Grain values below 1
+// normalize to 1, which reproduces the historical one-unit-per-item split
+// exactly. Larger grains amortize per-item dispatch (closure call,
+// accumulator-tile setup) against static-partitioning imbalance — the
+// trade-off the cost model searches. Unit iteration order inside a chunk is
+// ascending and every unit writes disjoint output, so results are
+// bit-identical for every grain under every ParallelFor. Both helpers are
+// allocation-free leaf calls: a kernel's parallel region still allocates only
+// its single dispatch closure, independent of the grain.
+
+// Chunks returns the number of grain-sized work items covering units.
+func Chunks(units, grain int) int {
+	if grain < 1 {
+		grain = 1
+	}
+	return (units + grain - 1) / grain
+}
+
+// ChunkBounds returns work item ck's [lo, hi) unit range under the grain.
+func ChunkBounds(ck, units, grain int) (int, int) {
+	if grain < 1 {
+		grain = 1
+	}
+	lo := ck * grain
+	hi := lo + grain
+	if hi > units {
+		hi = units
+	}
+	return lo, hi
+}
+
 // Conv2DAttrs carries the geometry attributes of a convolution node.
 type Conv2DAttrs struct {
 	OutC, KH, KW     int

@@ -97,7 +97,7 @@ func runWinogradBlocked(in, wt *tensor.Tensor, attrs Conv2DAttrs, icb, ocb int, 
 	if epi.Residual != nil {
 		blockedEpi.Residual = tensor.ToNCHWc(epi.Residual, ocb)
 	}
-	out := Conv2DWinogradNCHWcInto(nil, scratch, blockedIn, u, attrs, icb, ocb, blockedEpi, Serial)
+	out := Conv2DWinogradNCHWcInto(nil, scratch, blockedIn, u, attrs, icb, ocb, 1, blockedEpi, Serial)
 	return tensor.FromNCHWc(out)
 }
 
@@ -140,7 +140,7 @@ func TestWinogradNCHWcScratchReuse(t *testing.T) {
 	// Reusing the same destination and scratch across runs must stay
 	// bit-identical: nothing in the kernel may depend on buffer contents.
 	for i := 0; i < 2; i++ {
-		got := Conv2DWinogradNCHWcInto(dst, scratch, blockedIn, u, attrs, 8, 8, Epilogue{}, nil)
+		got := Conv2DWinogradNCHWcInto(dst, scratch, blockedIn, u, attrs, 8, 8, 1, Epilogue{}, nil)
 		if got != dst {
 			t.Fatal("Into variant must write the provided destination")
 		}

@@ -207,14 +207,17 @@ func PackWeightsOIHWio(q *QTensor, x, y int) *QTensor {
 // tiles (the scalar stand-in for VNNI/vpdpbusd or NEON sdot chains), with
 // the output rescaled back to float32 and the same fused epilogue options.
 func Conv2DInt8NCHWc(in *QTensor, weight *QTensor, attrs ops.Conv2DAttrs, icb, ocb, regN int, epi ops.Epilogue, pf ops.ParallelFor) *tensor.Tensor {
-	return Conv2DInt8NCHWcInto(nil, in, weight, attrs, icb, ocb, regN, epi, pf)
+	return Conv2DInt8NCHWcInto(nil, in, weight, attrs, icb, ocb, regN, 1, epi, pf)
 }
 
 // Conv2DInt8NCHWcInto is Conv2DInt8NCHWc writing the rescaled float32 output
 // into a caller-provided destination (nil dst allocates). The quantized
 // input/padding buffers are still produced per call: dynamic activation
-// quantization is inherently per-inference work.
-func Conv2DInt8NCHWcInto(dst *tensor.Tensor, in *QTensor, weight *QTensor, attrs ops.Conv2DAttrs, icb, ocb, regN int, epi ops.Epilogue, pf ops.ParallelFor) *tensor.Tensor {
+// quantization is inherently per-inference work. grain is the schedule's
+// parallel chunk size over (batch, oc-block, out-row) units (<=1 means one
+// row per work item); chunking also amortizes the int32 accumulator-tile
+// allocation across a chunk's rows, and every grain is bit-identical.
+func Conv2DInt8NCHWcInto(dst *tensor.Tensor, in *QTensor, weight *QTensor, attrs ops.Conv2DAttrs, icb, ocb, regN, grain int, epi ops.Epilogue, pf ops.ParallelFor) *tensor.Tensor {
 	if in.Layout.Kind != tensor.LayoutNCHWc || in.Layout.BlockC != icb {
 		panic(fmt.Sprintf("quant: expected NCHW%dc input, got %v", icb, in.Layout))
 	}
@@ -256,64 +259,78 @@ func Conv2DInt8NCHWcInto(dst *tensor.Tensor, in *QTensor, weight *QTensor, attrs
 		rescale[k] = in.Scale * sw
 	}
 
-	pf(n*ocOuter*oh, func(unit int) {
-		y := unit % oh
-		rest := unit / oh
-		co := rest % ocOuter
-		b := rest / ocOuter
+	units := n * ocOuter * oh
+	pf(ops.Chunks(units, grain), func(ck int) {
+		lo, hi := ops.ChunkBounds(ck, units, grain)
 		acc := make([]int32, regN*ocb)
-		wBase := co * icOuterPerG * kh * kw * icb * ocb
-		icBase := (co / ocOuterPerG) * icOuterPerG
-		for owo := 0; owo < ow; owo += regN {
-			tile := regN
-			if ow-owo < tile {
-				tile = ow - owo
-			}
-			for i := range acc[:tile*ocb] {
-				acc[i] = 0
-			}
-			for ci := 0; ci < icOuterPerG; ci++ {
-				inBase := ((b*icOuter+icBase+ci)*padded.Shape[2] + y*attrs.StrideH) * pw * icb
-				wCI := wBase + ci*kh*kw*icb*ocb
-				for r := 0; r < kh; r++ {
-					rowOff := inBase + r*pw*icb
-					for s := 0; s < kw; s++ {
-						wRS := wCI + (r*kw+s)*icb*ocb
-						for ii := 0; ii < icb; ii++ {
-							wVec := weight.Data[wRS+ii*ocb : wRS+ii*ocb+ocb]
-							for i := 0; i < tile; i++ {
-								iv := int32(padded.Data[rowOff+((owo+i)*attrs.StrideW+s)*icb+ii])
-								a := acc[i*ocb : i*ocb+ocb]
-								for oi := range wVec {
-									a[oi] += iv * int32(wVec[oi])
-								}
+		for unit := lo; unit < hi; unit++ {
+			y := unit % oh
+			rest := unit / oh
+			co := rest % ocOuter
+			b := rest / ocOuter
+			wBase := co * icOuterPerG * kh * kw * icb * ocb
+			icBase := (co / ocOuterPerG) * icOuterPerG
+			int8ConvRow(padded, weight, out, acc, rescale, attrs, epi,
+				b, co, y, icOuter, icOuterPerG, ocOuter, icb, ocb, regN, kh, kw, oh, ow, pw, wBase, icBase)
+		}
+	})
+	return out
+}
+
+// int8ConvRow computes one (batch, oc-block, out-row) band of the quantized
+// template. Factored out of the parallel dispatch so a chunked work item
+// reuses one int32 accumulator tile across its rows.
+func int8ConvRow(padded *QTensor, weight *QTensor, out *tensor.Tensor, acc []int32, rescale []float32,
+	attrs ops.Conv2DAttrs, epi ops.Epilogue,
+	b, co, y, icOuter, icOuterPerG, ocOuter, icb, ocb, regN, kh, kw, oh, ow, pw, wBase, icBase int) {
+	for owo := 0; owo < ow; owo += regN {
+		tile := regN
+		if ow-owo < tile {
+			tile = ow - owo
+		}
+		for i := range acc[:tile*ocb] {
+			acc[i] = 0
+		}
+		for ci := 0; ci < icOuterPerG; ci++ {
+			inBase := ((b*icOuter+icBase+ci)*padded.Shape[2] + y*attrs.StrideH) * pw * icb
+			wCI := wBase + ci*kh*kw*icb*ocb
+			for r := 0; r < kh; r++ {
+				rowOff := inBase + r*pw*icb
+				for s := 0; s < kw; s++ {
+					wRS := wCI + (r*kw+s)*icb*ocb
+					for ii := 0; ii < icb; ii++ {
+						wVec := weight.Data[wRS+ii*ocb : wRS+ii*ocb+ocb]
+						for i := 0; i < tile; i++ {
+							iv := int32(padded.Data[rowOff+((owo+i)*attrs.StrideW+s)*icb+ii])
+							a := acc[i*ocb : i*ocb+ocb]
+							for oi := range wVec {
+								a[oi] += iv * int32(wVec[oi])
 							}
 						}
 					}
 				}
 			}
-			outBase := (((b*ocOuter+co)*oh+y)*ow + owo) * ocb
-			for i := 0; i < tile; i++ {
-				dst := out.Data[outBase+i*ocb : outBase+(i+1)*ocb]
-				a := acc[i*ocb : (i+1)*ocb]
-				for oi := range a {
-					k := co*ocb + oi
-					v := float32(a[oi]) * rescale[k]
-					if epi.Bias != nil {
-						v += epi.Bias[k]
-					}
-					if epi.Residual != nil {
-						v += epi.Residual.Data[outBase+i*ocb+oi]
-					}
-					if epi.ReLU && v < 0 {
-						v = 0
-					}
-					dst[oi] = v
+		}
+		outBase := (((b*ocOuter+co)*oh+y)*ow + owo) * ocb
+		for i := 0; i < tile; i++ {
+			dst := out.Data[outBase+i*ocb : outBase+(i+1)*ocb]
+			a := acc[i*ocb : (i+1)*ocb]
+			for oi := range a {
+				k := co*ocb + oi
+				v := float32(a[oi]) * rescale[k]
+				if epi.Bias != nil {
+					v += epi.Bias[k]
 				}
+				if epi.Residual != nil {
+					v += epi.Residual.Data[outBase+i*ocb+oi]
+				}
+				if epi.ReLU && v < 0 {
+					v = 0
+				}
+				dst[oi] = v
 			}
 		}
-	})
-	return out
+	}
 }
 
 func padInt8NCHWc(in *QTensor, padH, padW int) *QTensor {

@@ -35,9 +35,10 @@ func TestCandidatesCoverSpace(t *testing.T) {
 	// trimmed by the 14-wide output to {8,4,2} plus the narrowest clamped
 	// value (16, one full-width tile); 32 duplicates 16's clamp and is
 	// dropped. Each of the 42 block pairs yields 4*2 direct schedules plus
-	// 1 winograd candidate (the workload is 3x3 stride-1): 42*(8+1) = 378.
-	if len(cands) != 378 {
-		t.Fatalf("candidate count = %d, want 378", len(cands))
+	// 1 winograd candidate (the workload is 3x3 stride-1), and every schedule
+	// is expanded by the 3 grain candidates: 42*(8+1)*3 = 1134.
+	if len(cands) != 1134 {
+		t.Fatalf("candidate count = %d, want 1134", len(cands))
 	}
 	seen := map[string]bool{}
 	winograd := 0
@@ -58,8 +59,8 @@ func TestCandidatesCoverSpace(t *testing.T) {
 		}
 		seen[k] = true
 	}
-	if winograd != 42 {
-		t.Fatalf("winograd candidates = %d, want one per block pair (42)", winograd)
+	if winograd != 42*len(grainCandidates) {
+		t.Fatalf("winograd candidates = %d, want one per block pair per grain (%d)", winograd, 42*len(grainCandidates))
 	}
 }
 
@@ -146,6 +147,64 @@ func TestLocalSearchBeatsNaiveChoice(t *testing.T) {
 	worst := results[len(results)-1].Time
 	if worst/best < 1.5 {
 		t.Fatalf("search space too flat: best %v worst %v", best, worst)
+	}
+}
+
+// TestSearchPicksCoarserGrainForThreads pins the joint block+grain search:
+// under a multi-thread evaluator the winner must carry a grain above 1 —
+// chunking strictly reduces the modeled dispatch overhead while the
+// balance term stays intact — and every searched grain must come from the
+// candidate set. The grain survives the schedule DB round trip like any
+// other schedule field (TestDBSaveLoadRoundTrip compares whole Results).
+func TestSearchPicksCoarserGrainForThreads(t *testing.T) {
+	tgt := machine.IntelSkylakeC5()
+	threaded := func(wl machine.ConvWorkload, s machine.ConvSchedule) float64 {
+		return tgt.ConvTime(wl, s, 4, machine.BackendPool, 1)
+	}
+	// A 1x1 workload whose (oc-block, out-row) unit count is large and
+	// divides evenly across 4 threads at coarser grains: chunking then
+	// keeps the balance term at 1 while shrinking dispatched items, so the
+	// modeled time strictly improves and the searcher must take it. (On
+	// tiny unit counts — winograd tile rows, say — grain 1 legitimately
+	// stays optimal; that case is covered by the sweep assertion below.)
+	wl := machine.ConvWorkload{
+		InC: 64, InH: 16, InW: 16, OutC: 128, KH: 1, KW: 1,
+		StrideH: 1, StrideW: 1,
+	}
+	results := LocalSearch(wl, tgt, threaded)
+	if best := results[0].Sched; best.Grain <= 1 {
+		t.Fatalf("4-thread search settled on grain %d (schedule %v); chunked dispatch must win", best.Grain, best)
+	}
+	valid := map[int]bool{}
+	for _, g := range grainCandidates {
+		valid[g] = true
+	}
+	for _, r := range results {
+		if !valid[r.Sched.Grain] {
+			t.Fatalf("schedule %v carries grain outside the candidate set %v", r.Sched, grainCandidates)
+		}
+	}
+	// Grain choice is a pure dispatch/balance trade: for any fixed block
+	// pair and algorithm, the candidates must differ only in predicted
+	// time, never be missing — the searcher sees every grain for every
+	// scheme it considers.
+	type key struct {
+		ic, oc, regN int
+		algo         machine.ConvAlgorithm
+		unroll       bool
+	}
+	grainsPer := map[key]map[int]bool{}
+	for _, r := range results {
+		k := key{r.Sched.ICBlock, r.Sched.OCBlock, r.Sched.RegN, r.Sched.Algorithm, r.Sched.UnrollKer}
+		if grainsPer[k] == nil {
+			grainsPer[k] = map[int]bool{}
+		}
+		grainsPer[k][r.Sched.Grain] = true
+	}
+	for k, gs := range grainsPer {
+		if len(gs) != len(grainCandidates) {
+			t.Fatalf("scheme %+v searched grains %v, want all of %v", k, gs, grainCandidates)
+		}
 	}
 }
 

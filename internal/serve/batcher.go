@@ -58,10 +58,19 @@ type response struct {
 // work, and a request whose deadline the live queue cannot meet is refused
 // with ErrDeadline rather than admitted to time out.
 //
+// When a batch holds more than one item and the pool has spare capacity,
+// the runner shards it: the batch's inputs are split contiguously across
+// the acquired session plus as many TryAcquire'd extra sessions as the pool
+// will yield without blocking, each shard runs concurrently, and the
+// responses rejoin in input order — batch-level data parallelism, so a
+// large coalesced batch is not serialized through a single arena while
+// sibling sessions idle.
+//
 // The batcher is also the panic-isolation boundary of the serving stack: a
-// batch that fails with *core.ExecPanicError fails only its own requests,
-// and the (possibly arena-corrupted) session is discarded from the pool
-// instead of recycled.
+// batch (or shard) that fails with *core.ExecPanicError fails only its own
+// requests, and only the (possibly arena-corrupted) session that panicked
+// is discarded from the pool instead of recycled — a sharded batch's other
+// lanes deliver their results and return their sessions as usual.
 type Batcher struct {
 	model      string // fault-site label and error context
 	pool       *SessionPool
@@ -89,13 +98,15 @@ type Batcher struct {
 	// batcher receives traffic.
 	onResult func(error)
 
-	mu          sync.Mutex
-	batches     uint64
-	items       uint64
-	rejected    uint64
-	shed        uint64
-	panics      uint64
-	maxObserved int
+	mu             sync.Mutex
+	batches        uint64
+	items          uint64
+	rejected       uint64
+	shed           uint64
+	panics         uint64
+	shardedBatches uint64
+	shards         uint64
+	maxObserved    int
 }
 
 // BatchStats is a snapshot of the batcher's coalescing behaviour.
@@ -112,9 +123,14 @@ type BatchStats struct {
 	// the live queue could not meet at admission, and already-expired
 	// requests evicted from the queue to make room under pressure.
 	Shed uint64 `json:"shed"`
-	// Panics counts batches that failed with a recovered execution panic
-	// (each also discarded its session from the pool).
+	// Panics counts batches or shards that failed with a recovered execution
+	// panic (each also discarded its session from the pool).
 	Panics uint64 `json:"panics"`
+	// ShardedBatches counts dispatched batches that were split across more
+	// than one session; Shards the total lanes those splits used, so
+	// Shards/ShardedBatches is the mean fan-out.
+	ShardedBatches uint64 `json:"sharded_batches"`
+	Shards         uint64 `json:"shards"`
 	// EstimatedWaitNS is the current queue-depth × observed-batch-latency
 	// wait prediction, the basis for Retry-After.
 	EstimatedWaitNS int64 `json:"estimated_wait_ns"`
@@ -273,6 +289,8 @@ func (b *Batcher) Stats() BatchStats {
 		Rejected:        b.rejected,
 		Shed:            b.shed,
 		Panics:          b.panics,
+		ShardedBatches:  b.shardedBatches,
+		Shards:          b.shards,
 		EstimatedWaitNS: int64(b.estimatedWaitLocked()),
 	}
 }
@@ -369,12 +387,26 @@ func (b *Batcher) collect(first *request) []*request {
 	return batch
 }
 
-// runBatch executes one micro-batch on an acquired session and distributes
-// per-request results. Requests whose client vanished or whose deadline
-// expired while queued are answered and dropped before execution. A batch
+// shardResult carries one shard's slice of the batch through execution:
+// the [lo, hi) range of live requests it covered, the session that ran it,
+// and RunBatch's outcome.
+type shardResult struct {
+	lo, hi  int
+	sess    *core.Session
+	results [][]*tensor.Tensor
+	err     error
+}
+
+// runBatch executes one micro-batch and distributes per-request results.
+// Requests whose client vanished or whose deadline expired while queued are
+// answered and dropped before execution. A multi-item batch is sharded
+// across the acquired session plus any extra sessions TryAcquire yields
+// without blocking — each shard a contiguous slice of the batch on its own
+// goroutine — and the per-request responses rejoin in input order. A shard
 // that panics fails only its own requests: the quarantined session is
-// discarded from the pool (a replacement is created on demand) and the
-// failure is reported to the OnBatchDone callback for circuit breaking.
+// discarded from the pool (a replacement is created on demand), sibling
+// shards are unaffected, and the failure is reported to the OnBatchDone
+// callback for circuit breaking.
 func (b *Batcher) runBatch(sess *core.Session, reqs []*request) {
 	defer b.wg.Done()
 	defer b.active.Add(-1)
@@ -391,11 +423,26 @@ func (b *Batcher) runBatch(sess *core.Session, reqs []*request) {
 		return
 	}
 
+	// Shard acquisition: one lane per batch item at most, and never blocking
+	// — an exhausted pool just means a narrower (possibly single-lane) run.
+	sessions := []*core.Session{sess}
+	for len(sessions) < len(live) {
+		extra := b.pool.TryAcquire()
+		if extra == nil {
+			break
+		}
+		sessions = append(sessions, extra)
+	}
+
 	b.mu.Lock()
 	b.batches++
 	b.items += uint64(len(live))
 	if len(live) > b.maxObserved {
 		b.maxObserved = len(live)
+	}
+	if len(sessions) > 1 {
+		b.shardedBatches++
+		b.shards += uint64(len(sessions))
 	}
 	b.mu.Unlock()
 
@@ -404,51 +451,83 @@ func (b *Batcher) runBatch(sess *core.Session, reqs []*request) {
 	for i, r := range live {
 		inputs[i] = r.input
 	}
-	var results [][]*tensor.Tensor
-	var err error
+
+	shards := make([]shardResult, len(sessions))
+	for k := range shards {
+		// Contiguous near-equal split: shard k covers [k*n/S, (k+1)*n/S).
+		shards[k].lo = k * len(live) / len(sessions)
+		shards[k].hi = (k + 1) * len(live) / len(sessions)
+		shards[k].sess = sessions[k]
+	}
 	start := time.Now()
-	if err = faults.Fire(faults.SiteBatcherDispatch, b.model); err == nil {
-		results, err = sess.RunBatch(ctx, inputs)
+	if ferr := faults.Fire(faults.SiteBatcherDispatch, b.model); ferr != nil {
+		for k := range shards {
+			shards[k].err = ferr
+		}
+	} else {
+		var wg sync.WaitGroup
+		for k := 1; k < len(shards); k++ {
+			wg.Add(1)
+			go func(sr *shardResult) {
+				defer wg.Done()
+				sr.results, sr.err = sr.sess.RunBatch(ctx, inputs[sr.lo:sr.hi])
+			}(&shards[k])
+		}
+		shards[0].results, shards[0].err = sess.RunBatch(ctx, inputs[shards[0].lo:shards[0].hi])
+		wg.Wait()
 	}
 	elapsed := time.Since(start)
 	stop()
 
-	// Panic isolation: a panicked session's arena may hold partial writes —
-	// quarantine it out of the pool instead of recycling it. Everything else
-	// goes back; RunBatch results are deep copies, so the session can serve
-	// the next batch before responses are delivered.
-	var pe *core.ExecPanicError
-	if errors.As(err, &pe) || sess.Corrupted() {
-		b.pool.Discard(sess)
-		b.count(func() { b.panics++ })
-	} else {
-		b.pool.Release(sess)
+	// Panic isolation, per lane: a panicked session's arena may hold partial
+	// writes — quarantine it out of the pool instead of recycling it. The
+	// other lanes go back; RunBatch results are deep copies, so a session
+	// can serve the next batch before responses are delivered.
+	var firstFailure error
+	for k := range shards {
+		sr := &shards[k]
+		var pe *core.ExecPanicError
+		if errors.As(sr.err, &pe) || sr.sess.Corrupted() {
+			b.pool.Discard(sr.sess)
+			b.count(func() { b.panics++ })
+		} else {
+			b.pool.Release(sr.sess)
+		}
+		if f := execFailure(sr.err); f != nil && firstFailure == nil {
+			firstFailure = f
+		}
 	}
 	b.observeLatency(elapsed)
 	if b.onResult != nil {
-		b.onResult(execFailure(err))
+		b.onResult(firstFailure)
 	}
 
-	done := len(live)
-	if err != nil {
-		done = 0
-		var be *core.BatchError
-		if errors.As(err, &be) {
-			// A cancelled batch still completed its first items; those
-			// clients get real results, the rest the error.
-			done = be.Completed
+	for k := range shards {
+		sr := &shards[k]
+		err := sr.err
+		done := sr.hi - sr.lo
+		if err != nil {
+			done = 0
+			var be *core.BatchError
+			if errors.As(err, &be) {
+				// A cancelled shard still completed its first items; those
+				// clients get real results, the rest the error.
+				done = be.Completed
+			}
+			if b.baseCtx.Err() != nil && errors.Is(err, context.Canceled) {
+				// The cancellation came from shutdown, not from the clients:
+				// live callers should see "server closed", not a bare ctx
+				// error.
+				err = ErrClosed
+			}
 		}
-		if b.baseCtx.Err() != nil && errors.Is(err, context.Canceled) {
-			// The cancellation came from shutdown, not from the clients:
-			// live callers should see "server closed", not a bare ctx error.
-			err = ErrClosed
-		}
-	}
-	for i, r := range live {
-		if i < done {
-			r.resp <- response{outs: results[i]}
-		} else {
-			r.resp <- response{err: perRequestError(r.ctx, err)}
+		for i := sr.lo; i < sr.hi; i++ {
+			r := live[i]
+			if i-sr.lo < done {
+				r.resp <- response{outs: sr.results[i-sr.lo]}
+			} else {
+				r.resp <- response{err: perRequestError(r.ctx, err)}
+			}
 		}
 	}
 }

@@ -113,6 +113,32 @@ func (p *SessionPool) Acquire(ctx context.Context) (*core.Session, error) {
 	}
 }
 
+// TryAcquire returns a session without ever blocking: an idle one if
+// available, a freshly grown one if the pool is under its bound, and nil
+// when the pool is exhausted (or growth failed). It is the sharding path's
+// acquisition primitive — the batcher uses it to pick up extra lanes for a
+// large batch, and a nil result simply means the batch runs unsharded.
+func (p *SessionPool) TryAcquire() *core.Session {
+	select {
+	case s := <-p.idle:
+		p.acquires.Add(1)
+		return s
+	default:
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.sessions) < p.max {
+		s, err := p.mod.NewSession()
+		if err != nil {
+			return nil
+		}
+		p.sessions = append(p.sessions, s)
+		p.acquires.Add(1)
+		return s
+	}
+	return nil
+}
+
 // Release returns an acquired session to the pool.
 func (p *SessionPool) Release(s *core.Session) {
 	if s == nil {
@@ -130,11 +156,13 @@ func (p *SessionPool) Release(s *core.Session) {
 // Discard removes an acquired session from the pool instead of recycling it
 // — the quarantine path for sessions whose execution panicked and whose
 // arena may hold partial writes. The slot it occupied frees up: the next
-// Acquire that misses the idle list grows a fresh replacement under the same
-// bound. Callers that block in Acquire while the pool is exhausted are not
-// woken by Discard; that is fine here because the batcher's single
-// dispatcher goroutine is the only Acquire caller, so no one can be waiting
-// while it holds the session it discards.
+// Acquire or TryAcquire that misses the idle list grows a fresh replacement
+// under the same bound. Callers that block in Acquire while the pool is
+// exhausted are not woken by Discard; that is fine here because the
+// batcher's single dispatcher goroutine is the only blocking-Acquire caller
+// (shard runners only ever TryAcquire, which never waits), and a sharded
+// batch that discards one lane still Releases its other lanes, which wakes
+// any blocked dispatcher.
 func (p *SessionPool) Discard(s *core.Session) {
 	if s == nil {
 		return

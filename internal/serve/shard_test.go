@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/tensor"
+)
+
+// TestTryAcquireNeverBlocks: the sharding path's acquisition primitive must
+// hand out idle sessions, grow under the bound, and report exhaustion as nil
+// instead of waiting.
+func TestTryAcquireNeverBlocks(t *testing.T) {
+	p, err := NewSessionPool(testModule(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.TryAcquire() // the eagerly created warm session
+	if a == nil {
+		t.Fatal("TryAcquire missed the warm idle session")
+	}
+	b := p.TryAcquire() // under the bound: grows
+	if b == nil || b == a {
+		t.Fatalf("TryAcquire under the bound must grow a fresh session, got %p vs %p", b, a)
+	}
+	if c := p.TryAcquire(); c != nil {
+		t.Fatal("exhausted pool must yield nil, not a session")
+	}
+	if st := p.Stats(); st.Size != 2 || st.Waits != 0 {
+		t.Fatalf("pool after TryAcquire exhaustion: %+v, want size 2 and no waits", st)
+	}
+	p.Release(a)
+	if d := p.TryAcquire(); d != a {
+		t.Fatal("TryAcquire did not reuse the released session")
+	}
+	p.Release(a)
+	p.Release(b)
+}
+
+// TestBatcherShardsAcrossIdleSessions: a coalesced multi-item batch must be
+// split across spare pool sessions and rejoined in input order with outputs
+// bit-identical to unsharded execution.
+func TestBatcherShardsAcrossIdleSessions(t *testing.T) {
+	mod := testModule(t)
+	p, err := NewSessionPool(mod, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher("test", p, Config{MaxBatch: 8, MaxLatency: 100 * time.Millisecond, QueueDepth: 16})
+	defer b.Close()
+
+	const n = 6
+	inputs := make([]*tensor.Tensor, n)
+	want := make([]*tensor.Tensor, n)
+	for i := range inputs {
+		inputs[i] = tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+		inputs[i].FillRandom(uint64(i)+7, 1)
+		outs, err := mod.Run(inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = outs[0]
+	}
+
+	got := make([][]*tensor.Tensor, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = b.Do(context.Background(), inputs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if d := tensor.MaxAbsDiff(want[i], got[i][0]); d != 0 {
+			t.Fatalf("request %d: sharded output diverges from direct run by %g", i, d)
+		}
+	}
+	st := b.Stats()
+	if st.ShardedBatches == 0 || st.Shards < 2 {
+		t.Fatalf("no sharding observed: %+v (pool %+v)", st, p.Stats())
+	}
+	if st.Shards < st.ShardedBatches*2 {
+		t.Fatalf("sharded batches must use at least two lanes each: %+v", st)
+	}
+}
+
+// TestShardPanicIsolatesSingleLane: a panic inside one shard must fail only
+// that shard's requests and quarantine only that shard's session — sibling
+// lanes deliver results, and the pool replaces the discarded session so the
+// batcher keeps serving.
+func TestShardPanicIsolatesSingleLane(t *testing.T) {
+	defer faults.Reset()
+	mod := testModule(t)
+	p, err := NewSessionPool(mod, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher("test", p, Config{MaxBatch: 8, MaxLatency: 100 * time.Millisecond, QueueDepth: 16})
+	defer b.Close()
+
+	faults.Inject(faults.SiteSessionRun, faults.Times(1, faults.Panic("chaos: shard lane blown")))
+
+	const n = 4
+	in := tensor.New(tensor.NCHW(), 1, 3, 32, 32)
+	in.FillRandom(3, 1)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Do(context.Background(), in)
+		}(i)
+	}
+	wg.Wait()
+
+	panicked, succeeded := 0, 0
+	for i := 0; i < n; i++ {
+		var pe *core.ExecPanicError
+		switch {
+		case errs[i] == nil:
+			succeeded++
+		case errors.As(errs[i], &pe):
+			panicked++
+		default:
+			t.Fatalf("request %d: unexpected error %v", i, errs[i])
+		}
+	}
+	if panicked == 0 {
+		t.Fatal("injected panic surfaced on no request")
+	}
+	if succeeded == 0 {
+		t.Fatalf("panic was not isolated to one lane: all %d requests failed (stats %+v)", n, b.Stats())
+	}
+	if st := p.Stats(); st.Discards != 1 {
+		t.Fatalf("exactly the panicked lane's session must be discarded, got %+v", st)
+	}
+	if st := b.Stats(); st.Panics != 1 {
+		t.Fatalf("panic counter: %+v, want 1", st)
+	}
+
+	// The pool regrows on demand: the batcher must still serve.
+	outs, err := b.Do(context.Background(), in)
+	if err != nil {
+		t.Fatalf("batcher did not recover after shard discard: %v", err)
+	}
+	ref, err := mod.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(ref[0], outs[0]); d != 0 {
+		t.Fatalf("post-recovery output diverges by %g", d)
+	}
+}

@@ -49,7 +49,14 @@ type Pool struct {
 	// re-raised on the submitting goroutine.
 	panicVal atomic.Pointer[panicBox]
 	closed   atomic.Bool
-	mu       sync.Mutex // serializes ParallelFor submissions
+	// mu serializes ParallelFor submissions. Acquisition is TryLock-based:
+	// a ParallelFor that finds a region already active — a nested call from
+	// inside a worker's chunk, or a concurrent session sharing the pool —
+	// runs its whole loop inline on the calling goroutine instead of
+	// queueing. Nested submissions therefore can never deadlock (a worker
+	// blocking on the region it is part of), and concurrent submitters
+	// degrade to serial progress rather than stalls.
+	mu sync.Mutex
 }
 
 // NewPool creates a pool that runs parallel regions over n threads (the
@@ -98,6 +105,14 @@ type panicBox struct{ v any }
 // outermost loop of the operation into N pieces to assign to N threads").
 // It returns when every index has been processed. A panic in any chunk is
 // re-raised on the caller after the region completes.
+//
+// ParallelFor is re-entrant: a call made while another region is active on
+// the same pool — from inside a worker's own chunk (nested parallelism), or
+// from a different goroutine sharing the pool — executes its loop inline on
+// the calling goroutine. One region at a time owns the workers; everyone
+// else makes serial progress instead of blocking, so nesting can never
+// deadlock and hybrid executors can let concurrent submitters race for the
+// pool safely.
 func (p *Pool) ParallelFor(n int, body func(i int)) {
 	if n <= 0 {
 		return
@@ -112,7 +127,15 @@ func (p *Pool) ParallelFor(n int, body func(i int)) {
 		}
 		return
 	}
-	p.mu.Lock()
+	if !p.mu.TryLock() {
+		// A region is already in flight. Blocking here would deadlock when
+		// the caller IS one of that region's goroutines (a kernel invoking
+		// nested ParallelFor from a worker chunk), so run inline instead.
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
 	defer p.mu.Unlock()
 
 	chunk := (n + threads - 1) / threads

@@ -81,6 +81,64 @@ func TestPoolReusableAcrossRegions(t *testing.T) {
 	}
 }
 
+// TestPoolNestedSubmissionRunsInline is the regression test for the nested
+// -submission hazard: a ParallelFor issued from inside a worker's body (a
+// kernel's chunk loop under an inter-op or hybrid level, or any re-entrant
+// caller) must degrade to an inline serial loop instead of deadlocking on
+// the pool's own join. Every index of every nesting level still runs
+// exactly once.
+func TestPoolNestedSubmissionRunsInline(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	outer, inner := 8, 16
+	counts := make([]atomic.Int32, outer*inner)
+	p.ParallelFor(outer, func(i int) {
+		p.ParallelFor(inner, func(j int) {
+			counts[i*inner+j].Add(1)
+		})
+	})
+	for k := range counts {
+		if got := counts[k].Load(); got != 1 {
+			t.Fatalf("nested index %d executed %d times", k, got)
+		}
+	}
+	// Three levels deep, for good measure — the TryLock fallback must hold
+	// at any depth.
+	var total atomic.Int64
+	p.ParallelFor(3, func(int) {
+		p.ParallelFor(3, func(int) {
+			p.ParallelFor(3, func(int) { total.Add(1) })
+		})
+	})
+	if total.Load() != 27 {
+		t.Fatalf("triple nesting ran %d bodies, want 27", total.Load())
+	}
+}
+
+// TestPoolConcurrentSubmitters: two goroutines racing to submit regions must
+// both make progress (the loser runs inline) and both cover every index.
+func TestPoolConcurrentSubmitters(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const submitters, n, rounds = 4, 64, 50
+	var total atomic.Int64
+	done := make(chan struct{})
+	for s := 0; s < submitters; s++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for r := 0; r < rounds; r++ {
+				p.ParallelFor(n, func(int) { total.Add(1) })
+			}
+		}()
+	}
+	for s := 0; s < submitters; s++ {
+		<-done
+	}
+	if total.Load() != submitters*n*rounds {
+		t.Fatalf("concurrent submitters ran %d bodies, want %d", total.Load(), submitters*n*rounds)
+	}
+}
+
 func TestPoolPanicPropagation(t *testing.T) {
 	p := NewPool(4)
 	defer p.Close()
