@@ -2,13 +2,13 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"testing"
 
+	"repro/internal/benchfmt"
 	"repro/internal/benchkernels"
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -20,45 +20,9 @@ import (
 
 // This file implements the -json mode: machine-readable benchmark output so
 // the performance trajectory is tracked across PRs instead of only living in
-// transient test output. One BENCH_<target>.json per paper target.
-
-// benchEntry is one (model, scheme) prediction or one measured host kernel.
-type benchEntry struct {
-	// Model + Scheme identify predicted entries; Name identifies measured
-	// host benchmarks.
-	Model  string `json:"model,omitempty"`
-	Scheme string `json:"scheme,omitempty"`
-	Name   string `json:"name,omitempty"`
-	// NsPerOp is the predicted (simulated target) or measured (host)
-	// nanoseconds per inference / per kernel invocation.
-	NsPerOp float64 `json:"ns_per_op"`
-	// BytesPerOp / AllocsPerOp are reported for measured entries only.
-	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
-	// ArenaBytes is the planned per-session arena of the compiled module a
-	// session benchmark ran against (the memory planner's footprint).
-	ArenaBytes int64 `json:"arena_bytes,omitempty"`
-	// Threads and Speedup are set on scaling/<model> entries only: the
-	// thread count the module was compiled and run with, and the ratio
-	// ns/op(threads=1) / ns/op(this entry) within the same series.
-	Threads int     `json:"threads,omitempty"`
-	Speedup float64 `json:"speedup,omitempty"`
-}
-
-// benchFile is the serialized BENCH_<target>.json document. It carries no
-// timestamp on purpose: the files are meant to be diffed across PRs, and a
-// generation time would make every regeneration a spurious diff.
-type benchFile struct {
-	SchemaVersion int    `json:"schema_version"`
-	Target        string `json:"target"`
-	CPU           string `json:"cpu"`
-	// Predicted holds the cost-model latency of every registry model under
-	// every optimization scheme on the (modeled) target.
-	Predicted []benchEntry `json:"predicted"`
-	// Measured holds real host wall-clock kernel benchmarks (identical
-	// across target files; the host is whatever ran this command).
-	Measured []benchEntry `json:"measured"`
-}
+// transient test output. One BENCH_<target>.json per paper target; the
+// schema (predicted, measured, serving) lives in internal/benchfmt, shared
+// with neocpu-loadgen which appends the serving series.
 
 // jsonSchemes are the optimization schemes tracked per model. The first four
 // mirror the paper's Table 3 rows (direct template only, for comparability
@@ -85,11 +49,16 @@ func writeBenchJSON(dir string) error {
 		return err
 	}
 	for _, t := range machine.AllTargets() {
-		doc := benchFile{
-			SchemaVersion: 1,
-			Target:        t.Name,
-			CPU:           t.CPU,
-			Measured:      measured,
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", t.Name))
+		doc := benchfmt.File{
+			Target:   t.Name,
+			CPU:      t.CPU,
+			Measured: measured,
+		}
+		// Regenerating kernel benchmarks must not erase the serving
+		// trajectory: loadgen owns that series, so carry it over.
+		if prev, err := benchfmt.Load(path); err == nil {
+			doc.Serving = prev.Serving
 		}
 		// The paper's 15 models plus the post-paper extensions (mobilenet-v1:
 		// the depthwise-separable scenario).
@@ -121,28 +90,18 @@ func writeBenchJSON(dir string) error {
 				if err != nil {
 					return fmt.Errorf("neocpu-bench: json %s/%s/%s: %w", t.Name, name, sch.name, err)
 				}
-				doc.Predicted = append(doc.Predicted, benchEntry{
+				doc.Predicted = append(doc.Predicted, benchfmt.Entry{
 					Model:   name,
 					Scheme:  sch.name,
 					NsPerOp: m.PredictLatency(core.PredictConfig{}) * 1e9,
 				})
 			}
 		}
-		path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", t.Name))
-		f, err := os.Create(path)
-		if err != nil {
+		if err := doc.Save(path); err != nil {
 			return err
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s (%d predicted, %d measured entries)\n", path, len(doc.Predicted), len(doc.Measured))
+		fmt.Printf("wrote %s (%d predicted, %d measured, %d serving entries)\n",
+			path, len(doc.Predicted), len(doc.Measured), len(doc.Serving))
 	}
 	return nil
 }
@@ -151,8 +110,8 @@ func writeBenchJSON(dir string) error {
 // testing.Benchmark: the direct-vs-winograd matchup on the shared
 // internal/benchkernels workload (the same one BenchmarkConvAlgorithm
 // reports), and the session execution paths on tiny-resnet.
-func measureHostKernels() ([]benchEntry, error) {
-	var out []benchEntry
+func measureHostKernels() ([]benchfmt.Entry, error) {
+	var out []benchfmt.Entry
 	record := func(name string, r testing.BenchmarkResult) error {
 		// A b.Fatal inside the closure aborts the benchmark and yields a
 		// zeroed result; recording 0 ns/op would poison the trajectory
@@ -160,7 +119,7 @@ func measureHostKernels() ([]benchEntry, error) {
 		if r.N <= 0 || r.NsPerOp() <= 0 {
 			return fmt.Errorf("neocpu-bench: benchmark %q failed (no iterations completed)", name)
 		}
-		out = append(out, benchEntry{
+		out = append(out, benchfmt.Entry{
 			Name:        name,
 			NsPerOp:     float64(r.NsPerOp()),
 			BytesPerOp:  r.AllocedBytesPerOp(),
@@ -319,8 +278,8 @@ func scalingThreadCounts() []int {
 // and timed on the host. Entries are named scaling/<model>/threads-<n> and
 // carry the speedup over the single-thread entry of the same series — the
 // figure examples/scaling prints and CI's scaling smoke checks.
-func scalingSeries(name string, build func(uint64) *graph.Graph) ([]benchEntry, error) {
-	var out []benchEntry
+func scalingSeries(name string, build func(uint64) *graph.Graph) ([]benchfmt.Entry, error) {
+	var out []benchfmt.Entry
 	var base float64
 	for _, th := range scalingThreadCounts() {
 		opts := core.Options{Level: core.OptGlobalSearch, Threads: th, Backend: machine.BackendPool}
@@ -355,7 +314,7 @@ func scalingSeries(name string, build func(uint64) *graph.Graph) ([]benchEntry, 
 		if th == 1 {
 			base = ns
 		}
-		out = append(out, benchEntry{
+		out = append(out, benchfmt.Entry{
 			Name:        fmt.Sprintf("scaling/%s/threads-%d", name, th),
 			NsPerOp:     ns,
 			BytesPerOp:  r.AllocedBytesPerOp(),

@@ -1,0 +1,130 @@
+// Command neocpu-loadgen drives a running /v2 inference server with an
+// open-loop QPS ramp and reports latency-vs-QPS curves — p50/p95/p99 over
+// successful requests plus the 429/504/5xx breakdown per step. With -json it
+// appends the run as a serving/<model>/qps-<n> series to a bench trajectory
+// file (the same BENCH_*.json schema neocpu-bench writes), so serving
+// performance is tracked across PRs like kernel performance.
+//
+//	neocpu-serve -repo ./models -addr :8000 &
+//	neocpu-loadgen -url http://127.0.0.1:8000 -model tiny-resnet \
+//	    -qps 10,25,50 -duration 5s -json bench/BENCH_c5.9xlarge.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8000", "server base URL")
+		model       = flag.String("model", "", "model to drive (required)")
+		qpsList     = flag.String("qps", "10,25,50", "comma-separated offered rates, one step each")
+		duration    = flag.Duration("duration", 5*time.Second, "offered-load duration per step")
+		concurrency = flag.Int("concurrency", 16, "max in-flight requests (ticks past it are dropped, not queued)")
+		timeout     = flag.Duration("timeout", 0, "per-request X-Request-Timeout budget (0 = server default)")
+		warmup      = flag.Int("warmup", 4, "sequential warmup requests before the first step")
+		jsonPath    = flag.String("json", "", "bench trajectory file to merge the serving series into")
+	)
+	flag.Parse()
+	if *model == "" {
+		fmt.Fprintln(os.Stderr, "neocpu-loadgen: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	qps, err := parseQPS(*qpsList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "neocpu-loadgen: %v\n", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	steps, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:     strings.TrimRight(*url, "/"),
+		Model:       *model,
+		QPS:         qps,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		Timeout:     *timeout,
+		Warmup:      *warmup,
+	})
+	printSteps(*model, steps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "neocpu-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *jsonPath != "" {
+		if err := mergeJSON(*jsonPath, *model, steps); err != nil {
+			fmt.Fprintf(os.Stderr, "neocpu-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %d serving entries into %s\n", len(steps), *jsonPath)
+	}
+}
+
+func parseQPS(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		q, err := strconv.ParseFloat(part, 64)
+		if err != nil || q <= 0 {
+			return nil, fmt.Errorf("bad -qps element %q (want a positive number)", part)
+		}
+		out = append(out, q)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-qps lists no rates")
+	}
+	return out, nil
+}
+
+func printSteps(model string, steps []loadgen.Step) {
+	if len(steps) == 0 {
+		return
+	}
+	fmt.Printf("model %s\n", model)
+	fmt.Printf("%10s %10s %7s %7s %6s %6s %6s %6s  %10s %10s %10s\n",
+		"qps", "achieved", "sent", "ok", "429", "504", "5xx", "other", "p50", "p95", "p99")
+	for _, st := range steps {
+		fmt.Printf("%10.4g %10.1f %7d %7d %6d %6d %6d %6d  %10s %10s %10s\n",
+			st.TargetQPS, st.AchievedQPS, st.Sent, st.OK,
+			st.Rejected, st.DeadlineExceeded, st.ServerErrors, st.OtherErrors,
+			st.P50.Round(10*time.Microsecond),
+			st.P95.Round(10*time.Microsecond),
+			st.P99.Round(10*time.Microsecond))
+		if st.Dropped > 0 {
+			fmt.Printf("%10s dropped %d ticks (concurrency %s saturated)\n", "", st.Dropped, "bound")
+		}
+	}
+}
+
+func mergeJSON(path, model string, steps []loadgen.Step) error {
+	f, err := benchfmt.Load(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		// A fresh file: serving-only, labeled with the host that measured it
+		// (kernel sections stay empty until neocpu-bench fills them).
+		f = &benchfmt.File{Target: "host", CPU: runtime.GOARCH}
+	}
+	f.MergeServing(model, loadgen.BenchEntries(model, steps))
+	return f.Save(path)
+}

@@ -39,6 +39,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -80,11 +81,18 @@ func main() {
 	seed := flag.Uint64("seed", 42, "synthetic-weight seed")
 	repoDir := flag.String("repo", "", "serve a model repository: directory of .neob bundles (neocpu-compile -o); ignores -model/-level/-int8/-seed")
 	arenaBudget := flag.Int("arena-budget", 0, "repository mode: total session-arena bytes across loaded models, LRU-evicting idle models past it (0 = unlimited)")
+	accessLog := flag.String("access-log", "", "write one JSON line per inference request to this file (\"-\" = stdout)")
 	flag.Parse()
+
+	logW, logClose, err := openAccessLog(*accessLog)
+	if err != nil {
+		fatal(err)
+	}
+	defer logClose()
 
 	if *repoDir != "" {
 		serveRepository(*repoDir, *addr, *arenaBudget, *threads, *poolSize, *maxBatch,
-			*maxLatency, *queueDepth, *requestTimeout, *drainTimeout)
+			*maxLatency, *queueDepth, *requestTimeout, *drainTimeout, logW)
 		return
 	}
 
@@ -127,6 +135,9 @@ func main() {
 		neocpu.WithRequestTimeout(*requestTimeout),
 		neocpu.WithDrainTimeout(*drainTimeout),
 	}
+	if logW != nil {
+		sopts = append(sopts, neocpu.WithAccessLog(logW))
+	}
 	poolLabel := "auto"
 	if *poolSize > 0 {
 		sopts = append(sopts, neocpu.WithPoolSize(*poolSize))
@@ -154,13 +165,15 @@ func main() {
 // at startup (budget permitting), and the repository endpoints load/unload
 // models live afterwards.
 func serveRepository(dir, addr string, arenaBudget, threads, poolSize, maxBatch int,
-	maxLatency time.Duration, queueDepth int, requestTimeout, drainTimeout time.Duration) {
+	maxLatency time.Duration, queueDepth int, requestTimeout, drainTimeout time.Duration,
+	accessLog io.Writer) {
 	defaults := serve.Config{
 		PoolSize:       poolSize,
 		MaxBatch:       maxBatch,
 		MaxLatency:     maxLatency,
 		RequestTimeout: requestTimeout,
 		DrainTimeout:   drainTimeout,
+		AccessLog:      accessLog,
 	}
 	if maxLatency == 0 {
 		defaults.MaxLatency = serve.NoLatency
@@ -239,6 +252,22 @@ func serveRepository(dir, addr string, arenaBudget, threads, poolSize, maxBatch 
 	case err := <-errc:
 		fatal(err)
 	}
+}
+
+// openAccessLog resolves the -access-log flag: "" disables, "-" is stdout,
+// anything else appends to the named file.
+func openAccessLog(path string) (io.Writer, func(), error) {
+	switch path {
+	case "":
+		return nil, func() {}, nil
+	case "-":
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("access log: %w", err)
+	}
+	return f, func() { f.Close() }, nil
 }
 
 func fatal(err error) {

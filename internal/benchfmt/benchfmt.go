@@ -1,0 +1,163 @@
+// Package benchfmt is the shared schema of the BENCH_<target>.json
+// trajectory files: the machine-readable benchmark output neocpu-bench
+// writes, neocpu-loadgen appends serving series to, and CI replays. One
+// package owns the shape so kernel perf and serving perf stay in the same
+// tracked document instead of drifting into parallel formats.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// SchemaVersion is the current BENCH_*.json schema. Version 1 carried only
+// predicted + measured entries; version 2 adds the serving series
+// (serving/<model>/qps-<n>) and is read-compatible with 1.
+const SchemaVersion = 2
+
+// Entry is one benchmark sample. Which fields are set depends on the
+// series: predicted entries carry Model+Scheme, measured host entries carry
+// Name (+ allocation and arena detail), scaling entries add Threads+Speedup,
+// and serving entries (Name "serving/<model>/qps-<n>") carry the QPS and
+// latency-percentile fields with NsPerOp as the mean OK-request latency.
+type Entry struct {
+	// Model + Scheme identify predicted entries; Name identifies measured
+	// host benchmarks and serving samples.
+	Model  string `json:"model,omitempty"`
+	Scheme string `json:"scheme,omitempty"`
+	Name   string `json:"name,omitempty"`
+	// NsPerOp is the predicted (simulated target) or measured (host)
+	// nanoseconds per inference / per kernel invocation; for serving
+	// entries, the mean latency of successful requests.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are reported for measured entries only.
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// ArenaBytes is the planned per-session arena of the compiled module a
+	// session benchmark ran against (the memory planner's footprint).
+	ArenaBytes int64 `json:"arena_bytes,omitempty"`
+	// Threads and Speedup are set on scaling/<model> entries only: the
+	// thread count the module was compiled and run with, and the ratio
+	// ns/op(threads=1) / ns/op(this entry) within the same series.
+	Threads int     `json:"threads,omitempty"`
+	Speedup float64 `json:"speedup,omitempty"`
+
+	// Serving-series fields (Name "serving/<model>/qps-<n>").
+
+	// QPS is the offered (target) request rate of the load step;
+	// AchievedQPS the rate the generator actually sustained.
+	QPS         float64 `json:"qps,omitempty"`
+	AchievedQPS float64 `json:"achieved_qps,omitempty"`
+	// P50NS/P95NS/P99NS are latency percentiles of successful requests, in
+	// nanoseconds.
+	P50NS float64 `json:"p50_ns,omitempty"`
+	P95NS float64 `json:"p95_ns,omitempty"`
+	P99NS float64 `json:"p99_ns,omitempty"`
+	// Requests counts everything sent; OK the 2xx answers; Rejected the
+	// 429 backpressure answers; Deadline the 504 budget expiries;
+	// Errors5xx other server errors; ErrorsOther everything else
+	// (transport failures, unexpected statuses).
+	Requests    int64 `json:"requests,omitempty"`
+	OK          int64 `json:"ok,omitempty"`
+	Rejected    int64 `json:"rejected_429,omitempty"`
+	Deadline    int64 `json:"deadline_504,omitempty"`
+	Errors5xx   int64 `json:"errors_5xx,omitempty"`
+	ErrorsOther int64 `json:"errors_other,omitempty"`
+}
+
+// File is one serialized BENCH_<target>.json document. It carries no
+// timestamp on purpose: the files are meant to be diffed across PRs, and a
+// generation time would make every regeneration a spurious diff.
+type File struct {
+	SchemaVersion int    `json:"schema_version"`
+	Target        string `json:"target"`
+	CPU           string `json:"cpu"`
+	// Predicted holds the cost-model latency of every registry model under
+	// every optimization scheme on the (modeled) target.
+	Predicted []Entry `json:"predicted"`
+	// Measured holds real host wall-clock kernel benchmarks (identical
+	// across target files; the host is whatever ran this command).
+	Measured []Entry `json:"measured"`
+	// Serving holds latency-vs-QPS samples from neocpu-loadgen
+	// (serving/<model>/qps-<n>), host wall-clock like Measured.
+	Serving []Entry `json:"serving,omitempty"`
+}
+
+// Load reads one bench file. Version-1 files (no serving section) load
+// cleanly; unknown future versions are refused rather than silently
+// rewritten.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchfmt: parse %s: %w", path, err)
+	}
+	if f.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("benchfmt: %s has schema_version %d, this build understands <= %d",
+			path, f.SchemaVersion, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// Save writes the file with stable two-space indentation (the diffable
+// on-disk form) and stamps the current schema version.
+func (f *File) Save(path string) error {
+	f.SchemaVersion = SchemaVersion
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ServingPrefix returns the series-name prefix of one model's serving
+// entries.
+func ServingPrefix(model string) string { return "serving/" + model + "/" }
+
+// ServingName returns the canonical serving entry name for one QPS step.
+// The rate is rendered without a trailing ".0" so whole-number rates read
+// "qps-50", fractional ones "qps-12.5".
+func ServingName(model string, qps float64) string {
+	return ServingPrefix(model) + "qps-" + FormatQPS(qps)
+}
+
+// FormatQPS renders a request rate the way serving entry names spell it.
+func FormatQPS(qps float64) string {
+	s := fmt.Sprintf("%g", qps)
+	return s
+}
+
+// MergeServing replaces the named model's serving series with entries,
+// leaving other models' series (and everything else in the file) untouched.
+// The result stays sorted: existing series keep their order, the new series
+// lands where the old one was (or at the end).
+func (f *File) MergeServing(model string, entries []Entry) {
+	prefix := ServingPrefix(model)
+	kept := make([]Entry, 0, len(f.Serving)+len(entries))
+	inserted := false
+	for _, e := range f.Serving {
+		if strings.HasPrefix(e.Name, prefix) {
+			if !inserted {
+				kept = append(kept, entries...)
+				inserted = true
+			}
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if !inserted {
+		kept = append(kept, entries...)
+	}
+	f.Serving = kept
+}

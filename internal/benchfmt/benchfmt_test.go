@@ -1,0 +1,155 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_c5.json")
+	f := &File{
+		Target: "c5",
+		CPU:    "skylake",
+		Predicted: []Entry{
+			{Model: "resnet-18", Scheme: "neocpu", NsPerOp: 1e6},
+		},
+		Measured: []Entry{
+			{Name: "conv/3x3", NsPerOp: 4200, BytesPerOp: 0, AllocsPerOp: 0, ArenaBytes: 1 << 20},
+			{Name: "scaling/resnet-18/t2", NsPerOp: 2100, Threads: 2, Speedup: 1.9},
+		},
+		Serving: []Entry{
+			{Name: "serving/tiny-cnn/qps-50", NsPerOp: 3e5, QPS: 50, AchievedQPS: 49.7,
+				P50NS: 2e5, P95NS: 5e5, P99NS: 9e5,
+				Requests: 250, OK: 240, Rejected: 6, Deadline: 3, Errors5xx: 0, ErrorsOther: 1},
+		},
+	}
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		t.Fatalf("Save stamped version %d, want %d", f.SchemaVersion, SchemaVersion)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != SchemaVersion || got.Target != "c5" || got.CPU != "skylake" {
+		t.Fatalf("header did not round-trip: %+v", got)
+	}
+	if len(got.Predicted) != 1 || len(got.Measured) != 2 || len(got.Serving) != 1 {
+		t.Fatalf("section lengths: %d/%d/%d", len(got.Predicted), len(got.Measured), len(got.Serving))
+	}
+	if got.Serving[0] != f.Serving[0] {
+		t.Fatalf("serving entry did not round-trip:\n got %+v\nwant %+v", got.Serving[0], f.Serving[0])
+	}
+	if got.Measured[1] != f.Measured[1] {
+		t.Fatalf("scaling entry did not round-trip:\n got %+v\nwant %+v", got.Measured[1], f.Measured[1])
+	}
+
+	// The on-disk form is the diffable one: indented, no timestamps.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "\n  \"target\": \"c5\"") {
+		t.Fatalf("file is not two-space indented:\n%s", raw)
+	}
+	if strings.Contains(string(raw), "time") {
+		t.Fatalf("file carries a timestamp-looking field:\n%s", raw)
+	}
+}
+
+func TestLoadRefusesFutureSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_future.json")
+	if err := os.WriteFile(path, []byte(`{"schema_version": 99, "target": "x", "cpu": "y"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted schema_version 99")
+	}
+	// Version-1 files (pre-serving) still load.
+	if err := os.WriteFile(path, []byte(`{"schema_version": 1, "target": "x", "cpu": "y", "predicted": [], "measured": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Serving != nil {
+		t.Fatalf("version-1 file grew a serving section: %+v", f.Serving)
+	}
+}
+
+func TestServingName(t *testing.T) {
+	for _, tc := range []struct {
+		model string
+		qps   float64
+		want  string
+	}{
+		{"tiny-cnn", 50, "serving/tiny-cnn/qps-50"},
+		{"tiny-cnn", 12.5, "serving/tiny-cnn/qps-12.5"},
+		{"resnet-18", 0.5, "serving/resnet-18/qps-0.5"},
+	} {
+		if got := ServingName(tc.model, tc.qps); got != tc.want {
+			t.Errorf("ServingName(%q, %g) = %q, want %q", tc.model, tc.qps, got, tc.want)
+		}
+	}
+}
+
+func names(entries []Entry) []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+func TestMergeServing(t *testing.T) {
+	mk := func(ns ...string) []Entry {
+		out := make([]Entry, len(ns))
+		for i, n := range ns {
+			out[i] = Entry{Name: n}
+		}
+		return out
+	}
+	f := &File{Serving: mk(
+		"serving/a/qps-10", "serving/a/qps-20",
+		"serving/b/qps-10",
+		"serving/c/qps-10",
+	)}
+
+	// Replace in place: a's new series lands where the old one sat, b and c
+	// keep their positions and contents.
+	f.MergeServing("a", mk("serving/a/qps-15", "serving/a/qps-30", "serving/a/qps-60"))
+	want := []string{
+		"serving/a/qps-15", "serving/a/qps-30", "serving/a/qps-60",
+		"serving/b/qps-10",
+		"serving/c/qps-10",
+	}
+	if got := names(f.Serving); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("replace-in-place:\n got %v\nwant %v", got, want)
+	}
+
+	// A new model appends at the end.
+	f.MergeServing("d", mk("serving/d/qps-5"))
+	if got := names(f.Serving); got[len(got)-1] != "serving/d/qps-5" || len(got) != 6 {
+		t.Fatalf("append-new-model: %v", got)
+	}
+
+	// Merging an empty series removes the model.
+	f.MergeServing("a", nil)
+	want = []string{"serving/b/qps-10", "serving/c/qps-10", "serving/d/qps-5"}
+	if got := names(f.Serving); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("remove-on-empty:\n got %v\nwant %v", got, want)
+	}
+
+	// "a" must not swallow "ab": prefix matching is per path segment.
+	f.Serving = mk("serving/ab/qps-10")
+	f.MergeServing("a", mk("serving/a/qps-1"))
+	want = []string{"serving/ab/qps-10", "serving/a/qps-1"}
+	if got := names(f.Serving); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("model-name prefix collision:\n got %v\nwant %v", got, want)
+	}
+}

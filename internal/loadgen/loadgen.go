@@ -1,0 +1,324 @@
+// Package loadgen is an open-loop HTTP load generator for the /v2 serving
+// protocol: it offers requests at a fixed target rate (rather than waiting
+// for responses — closed-loop generators hide latency collapse by slowing
+// down with the server), sweeps a QPS ramp, and reduces each step to a
+// latency-vs-QPS sample in the bench trajectory schema (internal/benchfmt).
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+// Config shapes one load run against a running /v2 server.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8000".
+	BaseURL string
+	// Model is the model to drive. Its input geometry is discovered from
+	// GET /v2/models/<model>, so the generator works against any model the
+	// server exposes.
+	Model string
+	// QPS is the offered-rate ramp: one measurement step per rate.
+	QPS []float64
+	// Duration is how long each step offers load (default 5s).
+	Duration time.Duration
+	// Concurrency bounds in-flight requests (default 16). When every lane
+	// is busy at tick time the tick is counted as dropped rather than
+	// queued — the generator stays open-loop instead of building its own
+	// backlog.
+	Concurrency int
+	// Timeout, when set, is sent as X-Request-Timeout on every request and
+	// doubles (plus slack) as the HTTP client timeout.
+	Timeout time.Duration
+	// Warmup is how many sequential requests to run before the first
+	// step, priming pool sessions and the server's latency EWMA
+	// (default 4).
+	Warmup int
+	// Client overrides the HTTP client (tests inject an httptest client).
+	Client *http.Client
+}
+
+// Step is one QPS step's reduced measurement.
+type Step struct {
+	// TargetQPS is the offered rate; AchievedQPS what the generator
+	// actually sustained (ticks fired / elapsed — lower than target when
+	// the concurrency bound dropped ticks).
+	TargetQPS   float64
+	AchievedQPS float64
+	// Sent counts requests actually issued; Dropped the ticks skipped
+	// because every concurrency lane was busy.
+	Sent    int64
+	Dropped int64
+	// Outcome breakdown: OK (2xx), Rejected (429), DeadlineExceeded (504),
+	// ServerErrors (other 5xx), OtherErrors (everything else, transport
+	// failures included). They sum to Sent.
+	OK               int64
+	Rejected         int64
+	DeadlineExceeded int64
+	ServerErrors     int64
+	OtherErrors      int64
+	// Latency percentiles and mean over OK requests only (failed requests
+	// return on a different, usually much faster, path).
+	P50, P95, P99, Mean time.Duration
+}
+
+// Run drives the configured ramp and returns one Step per QPS value.
+func Run(ctx context.Context, cfg Config) ([]Step, error) {
+	if cfg.Model == "" {
+		return nil, fmt.Errorf("loadgen: no model")
+	}
+	if len(cfg.QPS) == 0 {
+		return nil, fmt.Errorf("loadgen: no QPS steps")
+	}
+	for _, q := range cfg.QPS {
+		if q <= 0 {
+			return nil, fmt.Errorf("loadgen: QPS must be positive, got %g", q)
+		}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 16
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 4
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	if cfg.Timeout > 0 && client.Timeout == 0 {
+		// The server answers 504 itself at budget expiry; the client bound
+		// only catches a wedged connection, so give it slack.
+		client.Timeout = 2*cfg.Timeout + 5*time.Second
+	}
+
+	body, err := buildBody(ctx, client, cfg.BaseURL, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	inferURL := cfg.BaseURL + "/v2/models/" + cfg.Model + "/infer"
+
+	for i := 0; i < cfg.Warmup; i++ {
+		code, _, err := shoot(ctx, client, inferURL, body, cfg.Timeout)
+		if err == nil && code >= 500 {
+			return nil, fmt.Errorf("loadgen: warmup request answered %d", code)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: warmup request: %w", err)
+		}
+	}
+
+	steps := make([]Step, 0, len(cfg.QPS))
+	for _, qps := range cfg.QPS {
+		st, err := runStep(ctx, client, inferURL, body, qps, cfg)
+		if err != nil {
+			return steps, err
+		}
+		steps = append(steps, st)
+	}
+	return steps, nil
+}
+
+// runStep offers load at one fixed rate for cfg.Duration.
+func runStep(ctx context.Context, client *http.Client, url string, body []byte, qps float64, cfg Config) (Step, error) {
+	st := Step{TargetQPS: qps}
+	interval := time.Duration(float64(time.Second) / qps)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+
+	var mu sync.Mutex
+	var latencies []time.Duration
+	var wg sync.WaitGroup
+	lanes := make(chan struct{}, cfg.Concurrency)
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(cfg.Duration)
+	defer deadline.Stop()
+	start := time.Now()
+
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+			select {
+			case lanes <- struct{}{}:
+			default:
+				st.Dropped++ // open loop: never queue behind our own lanes
+				continue
+			}
+			st.Sent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-lanes }()
+				code, lat, err := shoot(ctx, client, url, body, cfg.Timeout)
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case err != nil:
+					st.OtherErrors++
+				case code >= 200 && code < 300:
+					st.OK++
+					latencies = append(latencies, lat)
+				case code == http.StatusTooManyRequests:
+					st.Rejected++
+				case code == http.StatusGatewayTimeout:
+					st.DeadlineExceeded++
+				case code >= 500:
+					st.ServerErrors++
+				default:
+					st.OtherErrors++
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed > 0 {
+		st.AchievedQPS = float64(st.Sent) / elapsed.Seconds()
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	st.P50 = percentile(latencies, 0.50)
+	st.P95 = percentile(latencies, 0.95)
+	st.P99 = percentile(latencies, 0.99)
+	if len(latencies) > 0 {
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		st.Mean = sum / time.Duration(len(latencies))
+	}
+	return st, ctx.Err()
+}
+
+// shoot issues one inference request and reports (status, latency, error).
+func shoot(ctx context.Context, client *http.Client, url string, body []byte, timeout time.Duration) (int, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if timeout > 0 {
+		req.Header.Set("X-Request-Timeout", strconv.FormatInt(timeout.Milliseconds(), 10))
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Drain so the transport reuses the connection; the payload itself is
+	// not interesting at load-generation volume.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, time.Since(start), nil
+}
+
+// buildBody discovers the model's input geometry from the metadata endpoint
+// and renders one reusable infer request body.
+func buildBody(ctx context.Context, client *http.Client, baseURL, model string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v2/models/"+model, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: fetch model metadata: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("loadgen: GET /v2/models/%s answered %d: %s", model, resp.StatusCode, msg)
+	}
+	var md struct {
+		Inputs []struct {
+			Name     string `json:"name"`
+			Datatype string `json:"datatype"`
+			Shape    []int  `json:"shape"`
+		} `json:"inputs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&md); err != nil {
+		return nil, fmt.Errorf("loadgen: parse model metadata: %w", err)
+	}
+	if len(md.Inputs) != 1 {
+		return nil, fmt.Errorf("loadgen: model %s reports %d inputs, want 1", model, len(md.Inputs))
+	}
+	in := md.Inputs[0]
+	n := 1
+	for _, d := range in.Shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("loadgen: model %s input shape %v has a non-positive dim", model, in.Shape)
+		}
+		n *= d
+	}
+	data := make([]float32, n)
+	for i := range data {
+		// Deterministic, non-constant pixels: constant inputs can take
+		// suspiciously fast paths through some kernels.
+		data[i] = float32(i%17)/16 - 0.5
+	}
+	payload := map[string]any{
+		"inputs": []map[string]any{{
+			"name":     in.Name,
+			"shape":    in.Shape,
+			"datatype": "FP32",
+			"data":     data,
+		}},
+	}
+	return json.Marshal(payload)
+}
+
+// percentile reads the p-quantile from ascending-sorted latencies
+// (nearest-rank; zero when empty).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// BenchEntries reduces a ramp to bench-trajectory serving entries
+// (serving/<model>/qps-<n>), ready for File.MergeServing.
+func BenchEntries(model string, steps []Step) []benchfmt.Entry {
+	out := make([]benchfmt.Entry, 0, len(steps))
+	for _, st := range steps {
+		out = append(out, benchfmt.Entry{
+			Name:        benchfmt.ServingName(model, st.TargetQPS),
+			NsPerOp:     float64(st.Mean.Nanoseconds()),
+			QPS:         st.TargetQPS,
+			AchievedQPS: st.AchievedQPS,
+			P50NS:       float64(st.P50.Nanoseconds()),
+			P95NS:       float64(st.P95.Nanoseconds()),
+			P99NS:       float64(st.P99.Nanoseconds()),
+			Requests:    st.Sent,
+			OK:          st.OK,
+			Rejected:    st.Rejected,
+			Deadline:    st.DeadlineExceeded,
+			Errors5xx:   st.ServerErrors,
+			ErrorsOther: st.OtherErrors,
+		})
+	}
+	return out
+}

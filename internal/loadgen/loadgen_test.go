@@ -1,0 +1,137 @@
+// End-to-end test of the load generator against a real in-process server:
+// the ramp runs over HTTP (httptest), the per-step accounting must balance
+// exactly, and the generator's view of the traffic must match the server's
+// own counters. Runs under -race in CI alongside everything else.
+package loadgen_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/machine"
+	"repro/internal/models"
+	"repro/internal/serve"
+)
+
+func TestLoadgenEndToEnd(t *testing.T) {
+	mod, err := core.Compile(models.TinyCNN(3), machine.IntelSkylakeC5(), core.Options{
+		Level: core.OptTransformElim, Threads: 1, Backend: machine.BackendSerial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mod.Close)
+	srv, err := serve.New(mod, "", serve.Config{
+		PoolSize: 2, MaxBatch: 4, MaxLatency: time.Millisecond, QueueDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	const warmup = 2
+	cfg := loadgen.Config{
+		BaseURL:     ts.URL,
+		Model:       "tiny-cnn",
+		QPS:         []float64{25},
+		Duration:    400 * time.Millisecond,
+		Concurrency: 8,
+		Warmup:      warmup,
+		Client:      ts.Client(),
+	}
+	steps, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 {
+		t.Fatalf("%d steps for 1 QPS value", len(steps))
+	}
+	st := steps[0]
+	if st.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	if got := st.OK + st.Rejected + st.DeadlineExceeded + st.ServerErrors + st.OtherErrors; got != st.Sent {
+		t.Fatalf("outcomes sum to %d, sent %d: %+v", got, st.Sent, st)
+	}
+	// 25 QPS of a sub-millisecond model against a 64-deep queue: nothing may
+	// error at the transport or server level.
+	if st.ServerErrors != 0 || st.OtherErrors != 0 {
+		t.Fatalf("errors against a healthy server: %+v", st)
+	}
+	if st.OK == 0 {
+		t.Fatal("no request succeeded")
+	}
+	if st.AchievedQPS <= 0 {
+		t.Fatalf("achieved QPS %g", st.AchievedQPS)
+	}
+	if st.P50 <= 0 || st.P50 > st.P95 || st.P95 > st.P99 {
+		t.Fatalf("percentiles out of order: p50=%v p95=%v p99=%v", st.P50, st.P95, st.P99)
+	}
+
+	// The generator's accounting must agree with the server's: every OK
+	// request (plus warmup) was carried through a batch; rejected ones were
+	// counted as rejected, not silently dropped.
+	stats := srv.Stats()
+	if want := uint64(st.OK + warmup); stats.Batch.Items != want {
+		t.Fatalf("server carried %d items, loadgen delivered %d OK + %d warmup", stats.Batch.Items, st.OK, warmup)
+	}
+	if stats.Batch.Rejected != uint64(st.Rejected) {
+		t.Fatalf("server rejected %d, loadgen observed %d", stats.Batch.Rejected, st.Rejected)
+	}
+
+	// The bench-trajectory reduction round-trips through the JSON file the
+	// CI smoke replays.
+	entries := loadgen.BenchEntries("tiny-cnn", steps)
+	if len(entries) != 1 || entries[0].Name != "serving/tiny-cnn/qps-25" {
+		t.Fatalf("bench entries %+v", entries)
+	}
+	if entries[0].Requests != st.Sent || entries[0].OK != st.OK {
+		t.Fatalf("entry accounting diverged: %+v vs %+v", entries[0], st)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_host.json")
+	f := &benchfmt.File{Target: "host", CPU: "test"}
+	f.MergeServing("tiny-cnn", entries)
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := benchfmt.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Serving) != 1 || loaded.Serving[0].Name != "serving/tiny-cnn/qps-25" {
+		t.Fatalf("serving series did not survive the file round-trip: %+v", loaded.Serving)
+	}
+}
+
+func TestLoadgenRejectsBadConfig(t *testing.T) {
+	for name, cfg := range map[string]loadgen.Config{
+		"no-model":     {QPS: []float64{10}},
+		"no-qps":       {Model: "m"},
+		"negative-qps": {Model: "m", QPS: []float64{10, -1}},
+	} {
+		if _, err := loadgen.Run(context.Background(), cfg); err == nil {
+			t.Errorf("%s: Run accepted a bad config", name)
+		}
+	}
+}
+
+func TestLoadgenFailsFastOnDeadServer(t *testing.T) {
+	cfg := loadgen.Config{
+		BaseURL: "http://127.0.0.1:1", // nothing listens on port 1
+		Model:   "tiny-cnn",
+		QPS:     []float64{10},
+	}
+	if _, err := loadgen.Run(context.Background(), cfg); err == nil {
+		t.Fatal("Run succeeded against a dead server")
+	}
+}

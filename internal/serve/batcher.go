@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/serve/metrics"
 	"repro/internal/tensor"
 )
 
@@ -38,11 +39,16 @@ type request struct {
 	ctx   context.Context
 	input *tensor.Tensor
 	resp  chan response
+	enq   time.Time // admission time, for the queue-wait histogram
 }
 
 type response struct {
 	outs []*tensor.Tensor
 	err  error
+	// batchID identifies the dispatched micro-batch that carried this
+	// request (access-log correlation); 0 when the request never reached a
+	// batch (rejected, shed, shutdown).
+	batchID uint64
 }
 
 // Batcher coalesces concurrent inference requests into micro-batches and
@@ -97,6 +103,13 @@ type Batcher struct {
 	// registry hangs the model's circuit breaker on it. Set before the
 	// batcher receives traffic.
 	onResult func(error)
+
+	// metrics, when set, receives batch/queue-wait/discard/panic
+	// observations (nil-safe methods; set before traffic, like onResult).
+	metrics *metrics.Model
+
+	// nextBatch mints batch IDs (1-based; 0 means "no batch").
+	nextBatch atomic.Uint64
 
 	mu             sync.Mutex
 	batches        uint64
@@ -170,43 +183,58 @@ func NewBatcher(model string, pool *SessionPool, cfg Config) *Batcher {
 // traffic.
 func (b *Batcher) OnBatchDone(fn func(error)) { b.onResult = fn }
 
+// SetMetrics installs the model's metric set (nil runs unmetered). It must
+// be installed before the batcher receives traffic.
+func (b *Batcher) SetMetrics(m *metrics.Model) { b.metrics = m }
+
+// QueueDepth reports the number of requests currently sitting in the
+// admission queue (the queue-depth gauge).
+func (b *Batcher) QueueDepth() int { return len(b.queue) }
+
 // Do submits one input and blocks until its batch completes, the caller's
 // ctx is done, or the batcher shuts down. A ctx deadline is the request's
 // whole-lifetime budget: admission refuses it outright (ErrDeadline) when
 // the live queue is predicted to outlast it.
 func (b *Batcher) Do(ctx context.Context, in *tensor.Tensor) ([]*tensor.Tensor, error) {
+	outs, _, err := b.DoTraced(ctx, in)
+	return outs, err
+}
+
+// DoTraced is Do plus the ID of the micro-batch that carried the request (0
+// when it never reached one) — the access log's batch_id field.
+func (b *Batcher) DoTraced(ctx context.Context, in *tensor.Tensor) ([]*tensor.Tensor, uint64, error) {
 	if b.draining.Load() || b.baseCtx.Err() != nil {
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		if wait := b.EstimatedWait(); wait > 0 && time.Until(dl) < wait {
 			b.count(func() { b.shed++ })
-			return nil, ErrDeadline
+			return nil, 0, ErrDeadline
 		}
 	}
-	req := &request{ctx: ctx, input: in, resp: make(chan response, 1)}
+	req := &request{ctx: ctx, input: in, resp: make(chan response, 1), enq: time.Now()}
 	select {
 	case b.queue <- req:
 	default:
 		if !b.shedExpiredFor(req) {
 			b.count(func() { b.rejected++ })
-			return nil, ErrQueueFull
+			return nil, 0, ErrQueueFull
 		}
 	}
 	select {
 	case r := <-req.resp:
-		return r.outs, r.err
+		return r.outs, r.batchID, r.err
 	case <-ctx.Done():
 		// The batch may still run this input (it only aborts once every
 		// member is cancelled); the buffered resp channel lets the runner
 		// complete without us.
-		return nil, ctx.Err()
+		return nil, 0, ctx.Err()
 	case <-b.baseCtx.Done():
 		select {
 		case r := <-req.resp:
-			return r.outs, r.err
+			return r.outs, r.batchID, r.err
 		default:
-			return nil, ErrClosed
+			return nil, 0, ErrClosed
 		}
 	}
 }
@@ -445,6 +473,7 @@ func (b *Batcher) runBatch(sess *core.Session, reqs []*request) {
 		b.shards += uint64(len(sessions))
 	}
 	b.mu.Unlock()
+	batchID := b.nextBatch.Add(1)
 
 	ctx, stop := b.batchContext(live)
 	inputs := make([]*tensor.Tensor, len(live))
@@ -460,6 +489,9 @@ func (b *Batcher) runBatch(sess *core.Session, reqs []*request) {
 		shards[k].sess = sessions[k]
 	}
 	start := time.Now()
+	for _, r := range live {
+		b.metrics.ObserveQueueWait(start.Sub(r.enq))
+	}
 	if ferr := faults.Fire(faults.SiteBatcherDispatch, b.model); ferr != nil {
 		for k := range shards {
 			shards[k].err = ferr
@@ -478,6 +510,7 @@ func (b *Batcher) runBatch(sess *core.Session, reqs []*request) {
 	}
 	elapsed := time.Since(start)
 	stop()
+	b.metrics.ObserveBatch(len(live), len(sessions), elapsed)
 
 	// Panic isolation, per lane: a panicked session's arena may hold partial
 	// writes — quarantine it out of the pool instead of recycling it. The
@@ -490,6 +523,8 @@ func (b *Batcher) runBatch(sess *core.Session, reqs []*request) {
 		if errors.As(sr.err, &pe) || sr.sess.Corrupted() {
 			b.pool.Discard(sr.sess)
 			b.count(func() { b.panics++ })
+			b.metrics.IncDiscard()
+			b.metrics.IncPanic()
 		} else {
 			b.pool.Release(sr.sess)
 		}
@@ -524,9 +559,9 @@ func (b *Batcher) runBatch(sess *core.Session, reqs []*request) {
 		for i := sr.lo; i < sr.hi; i++ {
 			r := live[i]
 			if i-sr.lo < done {
-				r.resp <- response{outs: sr.results[i-sr.lo]}
+				r.resp <- response{outs: sr.results[i-sr.lo], batchID: batchID}
 			} else {
-				r.resp <- response{err: perRequestError(r.ctx, err)}
+				r.resp <- response{err: perRequestError(r.ctx, err), batchID: batchID}
 			}
 		}
 	}

@@ -9,9 +9,9 @@ import (
 type breakerState int
 
 const (
-	breakerClosed breakerState = iota // healthy: all traffic admitted
-	breakerOpen                       // degraded: traffic refused until cooldown
-	breakerHalfOpen                   // probing: one request admitted to test recovery
+	breakerClosed   breakerState = iota // healthy: all traffic admitted
+	breakerOpen                         // degraded: traffic refused until cooldown
+	breakerHalfOpen                     // probing: one request admitted to test recovery
 )
 
 // Breaker is a per-model circuit breaker over batch execution failures. It
@@ -30,12 +30,28 @@ type Breaker struct {
 	cooldown  time.Duration
 	now       func() time.Time // injectable clock for tests
 
+	// onTransition, when set, is called with the state entered ("open",
+	// "half_open", "closed") on every state change — the registry hangs the
+	// model's breaker-transition metric on it. Set before traffic; called
+	// with b.mu held, so it must not call back into the breaker.
+	onTransition func(state string)
+
 	mu       sync.Mutex
 	state    breakerState
 	failures []time.Time // failure timestamps inside the sliding window
 	openedAt time.Time
 	probing  bool // half-open: a probe is in flight
 	trips    uint64
+}
+
+// OnTransition installs the state-change callback. It must be installed
+// before the breaker sees traffic.
+func (b *Breaker) OnTransition(fn func(state string)) { b.onTransition = fn }
+
+func (b *Breaker) transitioned(state string) {
+	if b.onTransition != nil {
+		b.onTransition(state)
+	}
 }
 
 func newBreaker(threshold int, window, cooldown time.Duration) *Breaker {
@@ -63,6 +79,7 @@ func (b *Breaker) Allow() bool {
 		}
 		b.state = breakerHalfOpen
 		b.probing = true
+		b.transitioned("half_open")
 		return true
 	default: // half-open
 		if b.probing {
@@ -86,6 +103,7 @@ func (b *Breaker) Record(err error) {
 			b.state = breakerClosed
 			b.failures = b.failures[:0]
 			b.probing = false
+			b.transitioned("closed")
 		}
 		return
 	}
@@ -95,6 +113,7 @@ func (b *Breaker) Record(err error) {
 		b.openedAt = now
 		b.probing = false
 		b.trips++
+		b.transitioned("open")
 		return
 	}
 	if b.state == breakerOpen {
@@ -113,6 +132,7 @@ func (b *Breaker) Record(err error) {
 		b.openedAt = now
 		b.failures = b.failures[:0]
 		b.trips++
+		b.transitioned("open")
 	}
 }
 

@@ -12,7 +12,6 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -31,12 +30,16 @@ type SessionPool struct {
 
 	idle chan *core.Session
 
+	// mu guards the session list AND the counters: Stats snapshots
+	// everything under one lock, so its invariants (Waits <= Acquires,
+	// Idle <= Size <= MaxSize) hold per-snapshot even mid-traffic —
+	// independent atomics could be read torn across concurrent updates
+	// (an Acquire's acquires++ then waits++ landing between two loads).
 	mu       sync.Mutex
 	sessions []*core.Session // every live session, for stats
-
-	acquires atomic.Uint64
-	waits    atomic.Uint64
-	discards atomic.Uint64
+	acquires uint64
+	waits    uint64
+	discards uint64
 }
 
 // defaultPoolSize derives the session-pool bound from the module's
@@ -83,7 +86,9 @@ func NewSessionPool(mod *core.Module, max int) (*SessionPool, error) {
 // a session is released or ctx is done. Every acquired session must be
 // handed back with Release.
 func (p *SessionPool) Acquire(ctx context.Context) (*core.Session, error) {
-	p.acquires.Add(1)
+	p.mu.Lock()
+	p.acquires++
+	p.mu.Unlock()
 	if err := faults.Fire(faults.SitePoolAcquire, p.mod.Graph.Name); err != nil {
 		return nil, err
 	}
@@ -103,8 +108,8 @@ func (p *SessionPool) Acquire(ctx context.Context) (*core.Session, error) {
 		p.mu.Unlock()
 		return s, nil
 	}
+	p.waits++
 	p.mu.Unlock()
-	p.waits.Add(1)
 	select {
 	case s := <-p.idle:
 		return s, nil
@@ -121,7 +126,9 @@ func (p *SessionPool) Acquire(ctx context.Context) (*core.Session, error) {
 func (p *SessionPool) TryAcquire() *core.Session {
 	select {
 	case s := <-p.idle:
-		p.acquires.Add(1)
+		p.mu.Lock()
+		p.acquires++
+		p.mu.Unlock()
 		return s
 	default:
 	}
@@ -133,7 +140,7 @@ func (p *SessionPool) TryAcquire() *core.Session {
 			return nil
 		}
 		p.sessions = append(p.sessions, s)
-		p.acquires.Add(1)
+		p.acquires++
 		return s
 	}
 	return nil
@@ -167,8 +174,8 @@ func (p *SessionPool) Discard(s *core.Session) {
 	if s == nil {
 		return
 	}
-	p.discards.Add(1)
 	p.mu.Lock()
+	p.discards++
 	for i, have := range p.sessions {
 		if have == s {
 			p.sessions = append(p.sessions[:i], p.sessions[i+1:]...)
@@ -203,29 +210,31 @@ type PoolStats struct {
 	ArenaBytesPerSession int `json:"arena_bytes_per_session"`
 }
 
-// Stats snapshots the pool. Safe to call concurrently with Acquire/Release
-// and with runs on acquired sessions.
+// Stats snapshots the pool under one lock, so a snapshot is internally
+// consistent: Waits <= Acquires, Idle <= Size <= MaxSize always hold within
+// one PoolStats even while Acquire/Release/Discard run concurrently.
+// Per-session work counters are atomics read under the same lock; they can
+// tick mid-run, but never below a previous snapshot.
 func (p *SessionPool) Stats() PoolStats {
 	p.mu.Lock()
-	sessions := p.sessions[:len(p.sessions):len(p.sessions)]
-	p.mu.Unlock()
+	defer p.mu.Unlock()
 	st := PoolStats{
-		Size:     len(sessions),
+		Size:     len(p.sessions),
 		MaxSize:  p.max,
 		Idle:     len(p.idle),
-		Acquires: p.acquires.Load(),
-		Waits:    p.waits.Load(),
-		Discards: p.discards.Load(),
+		Acquires: p.acquires,
+		Waits:    p.waits,
+		Discards: p.discards,
 	}
-	for _, s := range sessions {
+	for _, s := range p.sessions {
 		ss := s.Stats()
 		st.Runs += ss.Runs
 		st.Items += ss.Items
 		st.Busy += ss.Busy
 		st.ArenaBytes += s.ArenaBytes()
 	}
-	if len(sessions) > 0 {
-		st.ArenaBytesPerSession = st.ArenaBytes / len(sessions)
+	if len(p.sessions) > 0 {
+		st.ArenaBytesPerSession = st.ArenaBytes / len(p.sessions)
 	}
 	return st
 }

@@ -1,0 +1,274 @@
+// A minimal Prometheus text-exposition (format 0.0.4) parser, test-only: just
+// enough to hold the /metrics contract without importing a client library.
+// It is deliberately strict — unknown sample families, samples appearing
+// before their # TYPE, unparseable values, or unterminated label quoting all
+// fail the test — so format regressions surface as parse errors here rather
+// than in a real scraper.
+package serve_test
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+type promSample struct {
+	name   string // full sample name, e.g. neocpu_request_duration_seconds_bucket
+	labels map[string]string
+	value  float64
+}
+
+type promFamily struct {
+	name    string
+	typ     string // counter | gauge | histogram
+	help    string
+	samples []promSample
+}
+
+type promDoc struct {
+	families map[string]*promFamily
+}
+
+// parseProm parses one exposition body, enforcing the structural rules the
+// contract relies on: TYPE before samples, one TYPE per family, samples
+// grouped under the most recent family.
+func parseProm(t *testing.T, body string) *promDoc {
+	t.Helper()
+	if body != "" && !strings.HasSuffix(body, "\n") {
+		t.Fatalf("exposition does not end in a newline")
+	}
+	doc := &promDoc{families: map[string]*promFamily{}}
+	var current *promFamily
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		fatal := func(format string, args ...any) {
+			t.Helper()
+			t.Fatalf("metrics line %d %q: "+format, append([]any{ln + 1, line}, args...)...)
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok {
+				fatal("HELP without text")
+			}
+			f := doc.families[name]
+			if f == nil {
+				f = &promFamily{name: name}
+				doc.families[name] = f
+			}
+			f.help = help
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || (typ != "counter" && typ != "gauge" && typ != "histogram") {
+				fatal("bad TYPE %q", typ)
+			}
+			f := doc.families[name]
+			if f == nil {
+				f = &promFamily{name: name}
+				doc.families[name] = f
+			}
+			if f.typ != "" {
+				fatal("duplicate TYPE for %s", name)
+			}
+			f.typ = typ
+			current = f
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		s := parsePromSample(t, line)
+		if current == nil {
+			fatal("sample before any # TYPE")
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(s.name,
+			"_bucket"), "_sum"), "_count")
+		if s.name != current.name && !(current.typ == "histogram" && base == current.name) {
+			fatal("sample not grouped under its family (current %s)", current.name)
+		}
+		current.samples = append(current.samples, s)
+	}
+	return doc
+}
+
+func parsePromSample(t *testing.T, line string) promSample {
+	t.Helper()
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		t.Fatalf("metrics sample %q: no value", line)
+	} else {
+		s.name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for !strings.HasPrefix(rest, "}") {
+			eq := strings.Index(rest, "=")
+			if eq < 0 || !strings.HasPrefix(rest[eq+1:], `"`) {
+				t.Fatalf("metrics sample %q: malformed label", line)
+			}
+			key := rest[:eq]
+			rest = rest[eq+2:]
+			var val strings.Builder
+		quoted:
+			for {
+				if rest == "" {
+					t.Fatalf("metrics sample %q: unterminated label value", line)
+				}
+				switch rest[0] {
+				case '"':
+					rest = rest[1:]
+					break quoted
+				case '\\':
+					if len(rest) < 2 {
+						t.Fatalf("metrics sample %q: dangling escape", line)
+					}
+					switch rest[1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						t.Fatalf("metrics sample %q: bad escape \\%c", line, rest[1])
+					}
+					rest = rest[2:]
+				default:
+					val.WriteByte(rest[0])
+					rest = rest[1:]
+				}
+			}
+			s.labels[key] = val.String()
+			rest = strings.TrimPrefix(rest, ",")
+		}
+		rest = rest[1:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		t.Fatalf("metrics sample %q: bad value: %v", line, err)
+	}
+	s.value = v
+	return s
+}
+
+func labelsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup finds one sample by full name and exact label set.
+func (d *promDoc) lookup(name string, labels map[string]string) (float64, bool) {
+	base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+		"_bucket"), "_sum"), "_count")
+	for _, fam := range []string{name, base} {
+		f := d.families[fam]
+		if f == nil {
+			continue
+		}
+		for _, s := range f.samples {
+			if s.name == name && labelsEqual(s.labels, labels) {
+				return s.value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// value is lookup that fails the test when the sample is absent.
+func (d *promDoc) value(t *testing.T, name string, labels map[string]string) float64 {
+	t.Helper()
+	v, ok := d.lookup(name, labels)
+	if !ok {
+		t.Fatalf("metrics: no sample %s%v", name, labels)
+	}
+	return v
+}
+
+// checkHistogram verifies one model's histogram family end to end —
+// cumulative non-decreasing buckets, a +Inf bucket equal to _count, a _sum —
+// and returns the observation count.
+func checkHistogram(t *testing.T, d *promDoc, family, model string) float64 {
+	t.Helper()
+	f := d.families[family]
+	if f == nil || f.typ != "histogram" {
+		t.Fatalf("metrics: family %s missing or not a histogram", family)
+	}
+	type bkt struct {
+		le float64
+		v  float64
+	}
+	var buckets []bkt
+	for _, s := range f.samples {
+		if s.name != family+"_bucket" || s.labels["model"] != model {
+			continue
+		}
+		le := math.Inf(1)
+		if s.labels["le"] != "+Inf" {
+			var err error
+			le, err = strconv.ParseFloat(s.labels["le"], 64)
+			if err != nil {
+				t.Fatalf("%s: bad le %q", family, s.labels["le"])
+			}
+		}
+		buckets = append(buckets, bkt{le, s.value})
+	}
+	if len(buckets) < 2 {
+		t.Fatalf("%s{model=%q}: only %d buckets", family, model, len(buckets))
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].v < buckets[i-1].v {
+			t.Fatalf("%s{model=%q}: bucket le=%g count %g < previous %g (not cumulative)",
+				family, model, buckets[i].le, buckets[i].v, buckets[i-1].v)
+		}
+	}
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(last.le, 1) {
+		t.Fatalf("%s{model=%q}: no +Inf bucket", family, model)
+	}
+	count := d.value(t, family+"_count", map[string]string{"model": model})
+	if last.v != count {
+		t.Fatalf("%s{model=%q}: +Inf bucket %g != _count %g", family, model, last.v, count)
+	}
+	if sum := d.value(t, family+"_sum", map[string]string{"model": model}); sum < 0 {
+		t.Fatalf("%s{model=%q}: negative _sum %g", family, model, sum)
+	}
+	return count
+}
+
+// checkMonotonic asserts every counter and histogram sample in the earlier
+// scrape is <= its value in the later scrape (counters never go backwards;
+// gauges are exempt).
+func checkMonotonic(t *testing.T, earlier, later *promDoc) {
+	t.Helper()
+	for name, f := range earlier.families {
+		if f.typ == "gauge" {
+			continue
+		}
+		for _, s := range f.samples {
+			lv, ok := later.lookup(s.name, s.labels)
+			if !ok {
+				t.Fatalf("metrics: series %s%v disappeared between scrapes", s.name, s.labels)
+			}
+			if lv < s.value {
+				t.Fatalf("metrics: %s%v went backwards: %g -> %g (family %s)",
+					s.name, s.labels, s.value, lv, name)
+			}
+		}
+	}
+}

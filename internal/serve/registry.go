@@ -12,6 +12,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/serve/metrics"
 	"repro/internal/tensor"
 )
 
@@ -147,6 +148,13 @@ type Registry struct {
 	source ModelSource
 	cfg    RegistryConfig
 
+	// metrics is the registry's observability root: every known model gets
+	// a metric set the moment it is registered (source listing or
+	// AddStatic), so counters survive unload/reload and client-supplied
+	// names can never mint label series (serve's handlers use Lookup, which
+	// never creates).
+	metrics *metrics.Registry
+
 	mu        sync.Mutex
 	models    map[string]*entry
 	clock     uint64
@@ -162,6 +170,8 @@ type Registry struct {
 // AddStatic.
 func NewRegistry(source ModelSource, cfg RegistryConfig) (*Registry, error) {
 	r := &Registry{source: source, cfg: cfg, models: map[string]*entry{}}
+	r.metrics = metrics.NewRegistry()
+	r.metrics.SetHealthFunc(func() string { return string(r.Health()) })
 	if source != nil {
 		if err := r.Refresh(); err != nil {
 			return nil, err
@@ -169,6 +179,10 @@ func NewRegistry(source ModelSource, cfg RegistryConfig) (*Registry, error) {
 	}
 	return r, nil
 }
+
+// Metrics returns the registry's metric root (the /metrics endpoint's
+// backing store).
+func (r *Registry) Metrics() *metrics.Registry { return r.metrics }
 
 // Refresh re-lists the source and registers newly appeared models as
 // StateAvailable. Models that disappeared from the source keep their entries
@@ -186,6 +200,7 @@ func (r *Registry) Refresh() error {
 	for _, name := range names {
 		if _, ok := r.models[name]; !ok {
 			r.models[name] = &entry{name: name, state: StateAvailable, cfg: r.modelConfig(name)}
+			r.metrics.Model(name)
 		}
 	}
 	return nil
@@ -224,6 +239,7 @@ func (r *Registry) AddStatic(name string, mod *core.Module, cfg Config) error {
 	}
 	e := &entry{name: name, state: StateAvailable, mod: mod, cfg: cfg}
 	r.models[name] = e
+	r.metrics.Model(name)
 	r.mu.Unlock()
 	return r.Load(name)
 }
@@ -301,13 +317,29 @@ func (r *Registry) Load(name string) error {
 		return err
 	}
 	batcher := NewBatcher(name, pool, cfg)
+	mm := r.metrics.Model(name)
+	batcher.SetMetrics(mm)
 	var breaker *Breaker
 	if cfg.BreakerThreshold > 0 {
 		breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown)
 		// The batcher reports each batch's execution outcome; panics and
 		// executor errors count toward tripping, client aborts do not.
 		batcher.OnBatchDone(breaker.Record)
+		breaker.OnTransition(mm.BreakerTransition)
 	}
+	// Gauges are scrape-time callbacks over the live pool and queue; the
+	// teardown path clears this before the pool is dropped, so a scrape
+	// never touches a torn-down model.
+	mm.SetGaugeFunc(func() metrics.Gauges {
+		ps := pool.Stats()
+		return metrics.Gauges{
+			QueueDepth:   batcher.QueueDepth(),
+			PoolSessions: ps.Size,
+			PoolInUse:    ps.Size - ps.Idle,
+			PoolMax:      ps.MaxSize,
+			ArenaBytes:   ps.ArenaBytes,
+		}
+	})
 
 	r.mu.Lock()
 	e.mod = mod
@@ -406,6 +438,10 @@ func (r *Registry) unreserve(n int) {
 // on the idle list before the module (and with it the arenas) is dropped.
 func (r *Registry) teardown(e *entry, evicted bool) {
 	e.batcher.Close()
+	r.metrics.Lookup(e.name).SetGaugeFunc(nil)
+	if evicted {
+		r.metrics.IncEviction()
+	}
 	mod, owns := e.mod, e.ownsMod
 	r.mu.Lock()
 	r.reserved -= e.reserved
@@ -474,20 +510,27 @@ func (r *Registry) Module(name string) (*core.Module, error) {
 // LRU eviction safe: eviction only ever selects models with zero in-flight
 // requests, atomically with marking them unloading.
 func (r *Registry) Infer(ctx context.Context, name string, in *tensor.Tensor) ([]*tensor.Tensor, error) {
+	outs, _, err := r.InferTraced(ctx, name, in)
+	return outs, err
+}
+
+// InferTraced is Infer plus the ID of the micro-batch that carried the
+// request (0 when it never reached one) — the access log's batch_id field.
+func (r *Registry) InferTraced(ctx context.Context, name string, in *tensor.Tensor) ([]*tensor.Tensor, uint64, error) {
 	r.mu.Lock()
 	if r.draining || r.closed {
 		r.mu.Unlock()
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	e, ok := r.models[name]
 	if !ok {
 		r.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q", ErrModelNotFound, name)
+		return nil, 0, fmt.Errorf("%w: %q", ErrModelNotFound, name)
 	}
 	if e.state != StateReady {
 		st := e.state
 		r.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q is %s", ErrModelNotReady, name, st)
+		return nil, 0, fmt.Errorf("%w: %q is %s", ErrModelNotReady, name, st)
 	}
 	e.inflight++
 	r.clock++
@@ -495,16 +538,17 @@ func (r *Registry) Infer(ctx context.Context, name string, in *tensor.Tensor) ([
 	b, br := e.batcher, e.breaker
 	r.mu.Unlock()
 	var outs []*tensor.Tensor
+	var batchID uint64
 	var err error
 	if br != nil && !br.Allow() {
 		err = fmt.Errorf("%w: %q (circuit breaker open)", ErrModelDegraded, name)
 	} else {
-		outs, err = b.Do(ctx, in)
+		outs, batchID, err = b.DoTraced(ctx, in)
 	}
 	r.mu.Lock()
 	e.inflight--
 	r.mu.Unlock()
-	return outs, err
+	return outs, batchID, err
 }
 
 // Drain stops admission registry-wide: Infer refuses new requests while

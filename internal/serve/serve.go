@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -62,6 +63,15 @@ type Config struct {
 	// BreakerCooldown is how long a tripped breaker refuses traffic before
 	// admitting a half-open probe (default 5s).
 	BreakerCooldown time.Duration
+	// AccessLog, when set, receives one JSON line per inference request
+	// (model, status code, latency, batch id, deadline budget, client id) —
+	// including rejected requests (4xx/429/504). The writer is serialized
+	// behind a mutex; hand it os.Stdout or a buffered file writer.
+	AccessLog io.Writer
+	// DisableMetrics removes the GET /metrics endpoint. Collection itself
+	// stays on (it is a handful of atomic adds per request); this only
+	// unexposes it.
+	DisableMetrics bool
 }
 
 // NoLatency disables the straggler window: batches dispatch with whatever is
@@ -147,6 +157,7 @@ func (c Config) validate() error {
 //	POST /v2/repository/index                    repository index (kserve form)
 //	POST /v2/repository/models/<name>/load       bring a model up
 //	POST /v2/repository/models/<name>/unload     take a model down
+//	GET  /metrics                                Prometheus metrics (unless disabled)
 //
 // Requests are admitted into the addressed model's micro-batcher; the
 // Handler is safe for arbitrary concurrent use, including concurrently with
@@ -168,6 +179,11 @@ type Server struct {
 	// both resolved from the server's default Config at construction.
 	timeout time.Duration
 	maxBody int64
+
+	// accessLog is the structured request log (nil disables); metricsOn
+	// exposes GET /metrics.
+	accessLog *accessLogger
+	metricsOn bool
 }
 
 // Stats aggregates one model's serving-side counters.
@@ -195,7 +211,10 @@ func New(mod *core.Module, model string, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	rc := cfg.withDefaults()
-	s := &Server{reg: reg, primary: model, timeout: rc.RequestTimeout, maxBody: rc.MaxBodyBytes}
+	s := &Server{reg: reg, primary: model, timeout: rc.RequestTimeout, maxBody: rc.MaxBodyBytes, metricsOn: !rc.DisableMetrics}
+	if rc.AccessLog != nil {
+		s.accessLog = newAccessLogger(rc.AccessLog)
+	}
 	s.routes()
 	return s, nil
 }
@@ -208,7 +227,10 @@ func NewRepository(reg *Registry) (*Server, error) {
 		return nil, errors.New("serve: nil registry")
 	}
 	rc := reg.cfg.Defaults.withDefaults()
-	s := &Server{reg: reg, repo: true, timeout: rc.RequestTimeout, maxBody: rc.MaxBodyBytes}
+	s := &Server{reg: reg, repo: true, timeout: rc.RequestTimeout, maxBody: rc.MaxBodyBytes, metricsOn: !rc.DisableMetrics}
+	if rc.AccessLog != nil {
+		s.accessLog = newAccessLogger(rc.AccessLog)
+	}
 	s.routes()
 	return s, nil
 }
@@ -268,6 +290,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v2/repository/index", s.handleRepositoryIndex)
 	s.mux.HandleFunc("POST /v2/repository/models/{model}/load", s.handleRepositoryLoad)
 	s.mux.HandleFunc("POST /v2/repository/models/{model}/unload", s.handleRepositoryUnload)
+	if s.metricsOn {
+		s.mux.Handle("GET /metrics", s.reg.Metrics().Handler())
+	}
 }
 
 // Wire format (the kserve v2 inference protocol's JSON shapes, restricted to
@@ -488,10 +513,33 @@ func (s *Server) requestDeadline(r *http.Request) (time.Duration, error) {
 	return d, nil
 }
 
+// handleInfer wraps the inference path with per-request observability: the
+// terminal status and whole-handler latency feed the model's metric set (or
+// the unknown-model counter — request metrics never create label series from
+// client-supplied names), and the access log gets one line per request,
+// rejected ones included.
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	name, mod, ok := s.resolveModel(w, r)
-	if !ok {
-		return
+	name := r.PathValue("model")
+	start := time.Now()
+	code, batchID, budget, reqID := s.serveInfer(w, r, name)
+	elapsed := time.Since(start)
+	if mm := s.reg.metrics.Lookup(name); mm != nil {
+		mm.ObserveRequest(code, elapsed)
+	} else {
+		s.reg.metrics.IncUnknown()
+	}
+	s.accessLog.log(name, code, elapsed, batchID, budget, reqID)
+}
+
+// serveInfer runs one inference request end to end and reports its terminal
+// HTTP status, the micro-batch that carried it (0 if none), its resolved
+// deadline budget, and the client-supplied request id.
+func (s *Server) serveInfer(w http.ResponseWriter, r *http.Request, name string) (code int, batchID uint64, budget time.Duration, reqID string) {
+	mod, err := s.reg.Module(name)
+	if err != nil {
+		st := registryStatus(err)
+		writeError(w, st, "%v", err)
+		return st, 0, 0, ""
 	}
 	var req InferRequest
 	// Bound request bodies: the input tensor is fixed-size, and JSON spends
@@ -506,23 +554,24 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
-			return
+			return http.StatusRequestEntityTooLarge, 0, 0, ""
 		}
 		writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
-		return
+		return http.StatusBadRequest, 0, 0, ""
 	}
+	reqID = req.ID
 	in, err := requestTensor(mod, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return http.StatusBadRequest, 0, 0, reqID
 	}
 
 	// The deadline budget covers the request's whole remaining lifetime:
 	// admission, queueing and execution all charge against it.
-	budget, err := s.requestDeadline(r)
+	budget, err = s.requestDeadline(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return http.StatusBadRequest, 0, 0, reqID
 	}
 	ctx := r.Context()
 	if budget > 0 {
@@ -531,35 +580,42 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	outs, err := s.reg.Infer(ctx, name, in)
+	outs, batchID, err := s.reg.InferTraced(ctx, name, in)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
 			// The budget ran out — at admission (the queue was predicted to
 			// outlast it), in the queue, or mid-execution.
-			writeError(w, http.StatusGatewayTimeout, "request deadline exceeded (budget %v): %v", budget, err)
+			code = http.StatusGatewayTimeout
+			writeError(w, code, "request deadline exceeded (budget %v): %v", budget, err)
 		case errors.Is(err, ErrQueueFull):
+			code = http.StatusTooManyRequests
 			w.Header().Set("Retry-After", strconv.Itoa(s.reg.RetryAfterSeconds(name)))
-			writeError(w, http.StatusTooManyRequests, "server overloaded: %v", err)
+			writeError(w, code, "server overloaded: %v", err)
 		case errors.Is(err, ErrModelDegraded):
+			code = http.StatusServiceUnavailable
 			w.Header().Set("Retry-After", strconv.Itoa(s.reg.RetryAfterSeconds(name)))
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			writeError(w, code, "%v", err)
 		case errors.Is(err, ErrClosed), errors.Is(err, ErrModelNotReady):
 			// The model was unloaded (or evicted) while the request was in
 			// flight, or the server is draining; clients retry elsewhere.
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			code = http.StatusServiceUnavailable
+			writeError(w, code, "%v", err)
 		case errors.Is(err, ErrModelNotFound):
-			writeError(w, http.StatusNotFound, "%v", err)
+			code = http.StatusNotFound
+			writeError(w, code, "%v", err)
 		case r.Context().Err() != nil:
 			// The client is gone; the status is a formality.
-			writeError(w, http.StatusRequestTimeout, "request cancelled: %v", err)
+			code = http.StatusRequestTimeout
+			writeError(w, code, "request cancelled: %v", err)
 		default:
 			// Includes recovered execution panics (*core.ExecPanicError):
 			// this request's batch failed, the session was quarantined, and
 			// the model keeps serving (until its breaker says otherwise).
-			writeError(w, http.StatusInternalServerError, "inference failed: %v", err)
+			code = http.StatusInternalServerError
+			writeError(w, code, "inference failed: %v", err)
 		}
-		return
+		return code, batchID, budget, reqID
 	}
 
 	resp := InferResponse{ModelName: name, ID: req.ID}
@@ -577,11 +633,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	payload, err := json.Marshal(resp)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
-		return
+		return http.StatusInternalServerError, batchID, budget, reqID
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(payload)
+	return http.StatusOK, batchID, budget, reqID
 }
 
 // requestTensor validates the request against the compiled input geometry

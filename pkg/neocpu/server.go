@@ -3,6 +3,7 @@ package neocpu
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 //	GET  /v2/models/<name>[/ready]             metadata, per-model readiness
 //	POST /v2/models/<name>/infer               inference
 //	GET  /v2/stats                             pool + batcher counters
+//	GET  /metrics                              Prometheus metrics (WithMetrics)
 //
 // Concurrent requests are coalesced into micro-batches (bounded by
 // WithMaxBatch, lingering at most WithMaxLatency for stragglers) and
@@ -159,6 +161,31 @@ func WithMaxBodyBytes(n int64) ServeOption {
 			return
 		}
 		c.cfg.MaxBodyBytes = n
+	}
+}
+
+// WithMetrics toggles the Prometheus-text-format GET /metrics endpoint
+// (default on): request counters by status code, latency / queue-wait /
+// batch-size histograms, pool and queue gauges, breaker transitions.
+// Collection itself always runs (a handful of atomic adds per request);
+// WithMetrics(false) only removes the endpoint.
+func WithMetrics(enabled bool) ServeOption {
+	return func(c *serveConfig) {
+		c.cfg.DisableMetrics = !enabled
+	}
+}
+
+// WithAccessLog streams one JSON line per inference request to w — model,
+// status code, latency, carrying batch id, deadline budget, client request
+// id — including rejected requests (413/429/504). Writes are serialized
+// behind a mutex; hand it os.Stdout or a buffered writer the caller flushes.
+func WithAccessLog(w io.Writer) ServeOption {
+	return func(c *serveConfig) {
+		if w == nil {
+			c.err = fmt.Errorf("%w: nil access log writer", ErrBadOption)
+			return
+		}
+		c.cfg.AccessLog = w
 	}
 }
 
